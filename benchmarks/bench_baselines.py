@@ -1,0 +1,78 @@
+"""EXP-BASE-DEG / EXP-BASE-DIAM — the introduction's baseline failures.
+
+Head-to-head duels on the same graph under the same adversary:
+
+* surrogate healing suffers Θ(n) degree increase (the Forgiving Tree: 3);
+* line and uncoordinated binary-tree healing suffer large diameter growth
+  (the Forgiving Tree: the log ∆ envelope).
+"""
+
+from repro.adversaries import DiameterGreedyAdversary, SurrogateKillerAdversary
+from repro.baselines import (
+    BinaryTreeHealer,
+    ForgivingTreeHealer,
+    LineHealer,
+    SurrogateHealer,
+)
+from repro.graphs import generators, metrics
+from repro.harness import duel, report
+
+from .conftest import emit
+
+
+def run_degree_duel():
+    n = 120
+    tree = generators.star(n)
+    results = duel(
+        tree,
+        [ForgivingTreeHealer, SurrogateHealer, LineHealer],
+        SurrogateKillerAdversary,
+        rounds=n // 2,
+    )
+    return [
+        [name, res.peak_degree_increase, res.peak_diameter]
+        for name, res in sorted(results.items())
+    ]
+
+
+def run_diameter_duel():
+    tree = generators.broom(6, 40)
+    d0 = metrics.diameter_exact(tree)
+    results = duel(
+        tree,
+        [ForgivingTreeHealer, LineHealer, BinaryTreeHealer],
+        lambda: DiameterGreedyAdversary(max_candidates=12),
+        rounds=24,
+    )
+    return d0, [
+        [name, res.peak_diameter, f"{res.peak_stretch:.2f}x", res.peak_degree_increase]
+        for name, res in sorted(results.items())
+    ]
+
+
+def test_baseline_failures(benchmark, capsys):
+    deg_rows = benchmark.pedantic(run_degree_duel, rounds=1, iterations=1)
+    d0, diam_rows = run_diameter_duel()
+
+    by_name = {r[0]: r for r in deg_rows}
+    assert by_name["surrogate"][1] >= 40  # Θ(n) blow-up
+    assert by_name["forgiving-tree"][1] <= 3
+
+    diam_by_name = {r[0]: r for r in diam_rows}
+    assert diam_by_name["line"][1] > diam_by_name["forgiving-tree"][1]
+
+    emit(capsys, report.banner("EXP-BASE-DEG  surrogate-killer on star-120"))
+    emit(
+        capsys,
+        report.format_table(["healer", "peak ∆deg", "peak diameter"], deg_rows),
+    )
+    emit(
+        capsys,
+        report.banner(f"EXP-BASE-DIAM  diameter-greedy on broom (D0={d0})"),
+    )
+    emit(
+        capsys,
+        report.format_table(
+            ["healer", "peak diameter", "stretch", "peak ∆deg"], diam_rows
+        ),
+    )

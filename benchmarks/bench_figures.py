@@ -1,0 +1,42 @@
+"""EXP-FIG1/2/5 — the paper's worked figures, replayed and printed.
+
+The structural assertions live in tests/test_figures.py; this bench prints
+the healed virtual trees so the reproduction log shows the figures.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro import ForgivingTree
+from repro.harness import report
+from tests.conftest import FIG5, FIGURE5_TREE
+
+from .conftest import emit
+
+
+def replay():
+    names = {v: k for k, v in FIG5.items()}
+    engine = ForgivingTree(FIGURE5_TREE, strict=True)
+    snapshots = []
+    for victim in ("v", "p", "d", "h"):
+        engine.delete(FIG5[victim])
+        edges = sorted(
+            (names[a], names[b]) for a, b in engine.edges()
+        )
+        snapshots.append((victim, edges, engine.max_degree_increase()))
+    return snapshots
+
+
+def test_figure5_replay(benchmark, capsys):
+    snapshots = benchmark.pedantic(replay, rounds=1, iterations=1)
+    emit(capsys, report.banner("EXP-FIG5  the four-turn example (named edges)"))
+    for victim, edges, deg in snapshots:
+        emit(
+            capsys,
+            f"turn: delete {victim:<2} (max ∆deg {deg})\n  "
+            + " ".join(f"{a}-{b}" for a, b in edges),
+        )
+    turn1 = dict((v, e) for v, e, _ in snapshots)["v"]
+    assert ("b", "c") in turn1 and ("c", "d") in turn1 and ("b", "d") in turn1

@@ -1,0 +1,60 @@
+"""EXP-T1-MSG — Theorem 1.3: O(1) messages per node and O(1) latency.
+
+Runs the *distributed* runtime across network sizes and reports the peak
+per-node messages (sent/received) per heal round and the peak sub-round
+latency — both must stay flat as n grows.
+"""
+
+import random
+
+from repro.distributed import DistributedForgivingTree
+from repro.graphs import generators
+from repro.harness import report
+
+from .conftest import emit
+
+SIZES = (8, 16, 24)  # the distributed runtime's validated envelope
+SEED = 3
+
+
+def run_sweep():
+    rows = []
+    for n in SIZES:
+        tree = generators.random_tree(n, seed=SEED)
+        dist = DistributedForgivingTree(tree)
+        order = sorted(tree)
+        random.Random(SEED).shuffle(order)
+        peak_sub_rounds = 0
+        for victim in order:
+            stats = dist.delete(victim)
+            peak_sub_rounds = max(peak_sub_rounds, stats.sub_rounds)
+        rows.append(
+            [
+                n,
+                dist.peak_messages_per_node(),
+                peak_sub_rounds,
+                dist.setup_stats.total_messages,
+                f"{dist.setup_stats.total_messages / max(1, n - 1):.1f}",
+            ]
+        )
+    return rows
+
+
+def test_thm1_messages_and_latency(benchmark, capsys):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    peaks = [r[1] for r in rows]
+    latencies = [r[2] for r in rows]
+    # Flat in n: the largest network is within a constant of the smallest.
+    assert peaks[-1] <= peaks[0] + 6
+    assert max(latencies) <= 8
+    emit(
+        capsys,
+        report.banner("EXP-T1-MSG  Theorem 1.3: O(1) msgs/node, O(1) latency"),
+    )
+    emit(
+        capsys,
+        report.format_table(
+            ["n", "peak msgs/node/round", "peak sub-rounds", "setup msgs", "setup msgs/tree-edge"],
+            rows,
+        ),
+    )

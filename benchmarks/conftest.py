@@ -1,0 +1,15 @@
+"""Benchmark suite configuration.
+
+Every benchmark regenerates one of the paper's results (see DESIGN.md §4
+and EXPERIMENTS.md) and prints the measured rows next to the theoretical
+bound, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction log.
+"""
+
+import pytest
+
+
+def emit(capsys, text: str) -> None:
+    """Print a report table outside pytest's capture."""
+    with capsys.disabled():
+        print(text)

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Watch the data structure heal: the Figure 5 sequence, annotated.
+
+Replays the paper's worked example turn by turn, printing the virtual tree
+(helpers in [brackets], ready heirs in <angles>) and the per-round repair
+report, so the wills/heirs machinery is visible end to end.
+
+Run:  python examples/healing_trace.py
+"""
+
+from repro import ForgivingTree
+
+# The Figure 5 instance (see tests/conftest.py for the id <-> name map):
+# r=0 — p=4 — v=6 — children a..h = 10..17; h=17 has children m,n,o=18,19,20;
+# p's other children: i=5, j=7, k=8.
+TREE = {0: [4], 4: [5, 6, 7, 8], 6: list(range(10, 18)), 17: [18, 19, 20]}
+NAMES = {0: "r", 4: "p", 5: "i", 6: "v", 7: "j", 8: "k", 18: "m", 19: "n", 20: "o"}
+NAMES.update({i: chr(ord("a") + i - 10) for i in range(10, 18)})
+
+
+def named(nid: int) -> str:
+    return NAMES.get(nid, str(nid))
+
+
+def main() -> None:
+    ft = ForgivingTree(TREE, strict=True)
+    print("initial tree:")
+    print(ft.render(), "\n")
+
+    for turn, victim in enumerate((6, 4, 13, 17), start=1):
+        report = ft.delete(victim)
+        print(f"=== turn {turn}: adversary deletes {named(victim)} ===")
+        print(report.describe())
+        added = ", ".join(
+            f"{named(a)}-{named(b)}" for a, b in sorted(report.edges_added)
+        )
+        print(f"edges added: {added}")
+        print(f"max degree increase so far: {ft.max_degree_increase()} (bound: 3)")
+        print(ft.render(), "\n")
+
+    print("every deletion healed with O(1) work per neighbor — the wills")
+    print("were written before the deaths, exactly as in Section 3.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The motivating scenario: a superpeer overlay melting down (Section 1).
+
+The paper opens with the 2007 Skype outage — a cascading failure of the
+network's "self-healing mechanisms".  This example builds a Skype-style
+superpeer overlay (hubs + leaf peers), then kills superpeers one after
+another, comparing three responses:
+
+* **no repair** — the network fragments (counts the stranded peers);
+* **surrogate healing** — stays connected but a surviving peer's degree
+  explodes, making it the next natural victim (the cascade);
+* **Forgiving Tree** — stays connected with degree increase <= 3 and the
+  diameter within the log-∆ envelope.
+
+Run:  python examples/skype_outage.py
+"""
+
+from repro.adversaries import MaxDegreeAdversary
+from repro.baselines import ForgivingTreeHealer, NoRepairHealer, SurrogateHealer
+from repro.graphs import generators, metrics
+from repro.graphs.adjacency import connected_components
+from repro.harness import run_campaign
+from repro.harness.report import format_table
+
+
+def main() -> None:
+    hubs, leaves_per_hub = 8, 12
+    overlay = generators.two_level_star(hubs, leaves_per_hub)
+    n = len(overlay)
+    d0 = metrics.diameter_exact(overlay)
+    print(f"superpeer overlay: {hubs} hubs x {leaves_per_hub} peers "
+          f"(n={n}, diameter={d0})\n")
+
+    rounds = hubs + 1  # kill the backbone: every hub plus the center
+    rows = []
+    for make in (NoRepairHealer, SurrogateHealer, ForgivingTreeHealer):
+        healer = make({k: set(v) for k, v in overlay.items()})
+        result = run_campaign(
+            healer, MaxDegreeAdversary(), rounds=rounds, measure_diameter=False
+        )
+        graph = healer.graph()
+        comps = connected_components(graph)
+        main_comp = max((len(c) for c in comps), default=0)
+        stranded = len(graph) - main_comp
+        diam = (
+            metrics.diameter_exact(graph)
+            if len(comps) == 1 and len(graph) > 1
+            else None
+        )
+        rows.append(
+            [
+                healer.name,
+                len(comps),
+                stranded,
+                result.peak_degree_increase,
+                diam if diam is not None else "n/a (split)",
+            ]
+        )
+
+    print(format_table(
+        ["strategy", "components", "stranded peers", "peak +degree", "diameter"],
+        rows,
+    ))
+    print(
+        "\nthe Forgiving Tree keeps every surviving peer reachable with no"
+        "\nhot-spot for the adversary to target next — the cascade never starts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs PEP 517 + wheel; offline
+boxes that lack ``wheel`` can instead use the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+which requires this file.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

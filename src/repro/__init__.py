@@ -1,0 +1,50 @@
+"""repro — a full reproduction of *The Forgiving Tree* (PODC 2008).
+
+A self-healing distributed data structure: under repeated adversarial node
+deletions it keeps every node's degree within +3 of its original degree and
+the network diameter within O(log Δ) of the original (Δ = original max
+degree), using O(1) messages per node per deletion.
+
+Public entry points
+-------------------
+:class:`ForgivingTree`
+    The sequential reference engine over a tree.
+:class:`repro.healers.ForgivingTreeHealer`
+    General-graph healer (spanning tree + surviving non-tree edges) with the
+    same interface as the baselines.
+:mod:`repro.distributed`
+    The message-passing implementation (per-node state, wills as messages,
+    O(1)-latency heal rounds, full accounting) plus the distributed setup
+    phase (BFS spanning tree, Cohen-style size estimation).
+:mod:`repro.baselines` / :mod:`repro.adversaries`
+    The naive strategies the paper's introduction rules out, and the attack
+    strategies that defeat them.
+:mod:`repro.harness`
+    Attack/heal simulation loops, sweeps and report tables reproducing
+    every theorem, figure and claim (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from .core import (
+    ForgivingTree,
+    HealReport,
+    HelperState,
+    InvariantViolationError,
+    NodeState,
+    ReproError,
+    SlotTree,
+    VirtualTree,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ForgivingTree",
+    "HealReport",
+    "HelperState",
+    "InvariantViolationError",
+    "NodeState",
+    "ReproError",
+    "SlotTree",
+    "VirtualTree",
+    "__version__",
+]

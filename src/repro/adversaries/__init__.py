@@ -1,0 +1,62 @@
+"""Adversary strategies for the Delete and Repair game.
+
+The paper's adversary is *omniscient*: it "knows the network topology and
+our algorithms" and picks each victim after seeing the healed graph.  These
+strategies realize the attacks the paper reasons about:
+
+* :class:`RandomAdversary` — baseline noise.
+* :class:`MaxDegreeAdversary` — always the highest-degree survivor
+  (hub-killing; the classic overlay attack).
+* :class:`MinDegreeAdversary` — leaf-first deletion (stresses leaf wills).
+* :class:`CenterAdversary` — always a center of the current graph
+  (diameter-focused).
+* :class:`SurrogateKillerAdversary` — the intro's Θ(n)-degree attack on
+  surrogate healing: kill the current surrogate's neighbors so their edges
+  pile onto it.
+* :class:`DiameterGreedyAdversary` — one-step lookahead maximizing the
+  post-heal diameter (expensive; used at modest n).
+* :class:`DegreeGreedyAdversary` — one-step lookahead maximizing the
+  post-heal max degree increase.
+* :class:`FixedOrderAdversary` / :class:`ScriptedAdversary` — replay a
+  given order (used by the figure reproductions).
+"""
+
+from .base import Adversary, FixedOrderAdversary, ScriptedAdversary
+from .simple import (
+    CenterAdversary,
+    MaxDegreeAdversary,
+    MinDegreeAdversary,
+    RandomAdversary,
+    RootAdversary,
+)
+from .greedy import DegreeGreedyAdversary, DiameterGreedyAdversary
+from .surrogate_killer import SurrogateKillerAdversary
+
+ADVERSARY_CATALOG = {
+    cls.name: cls
+    for cls in (
+        RandomAdversary,
+        MaxDegreeAdversary,
+        MinDegreeAdversary,
+        CenterAdversary,
+        RootAdversary,
+        SurrogateKillerAdversary,
+        DiameterGreedyAdversary,
+        DegreeGreedyAdversary,
+    )
+}
+
+__all__ = [
+    "ADVERSARY_CATALOG",
+    "Adversary",
+    "CenterAdversary",
+    "DegreeGreedyAdversary",
+    "DiameterGreedyAdversary",
+    "FixedOrderAdversary",
+    "MaxDegreeAdversary",
+    "MinDegreeAdversary",
+    "RandomAdversary",
+    "RootAdversary",
+    "ScriptedAdversary",
+    "SurrogateKillerAdversary",
+]

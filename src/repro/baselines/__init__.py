@@ -1,0 +1,24 @@
+"""Healer strategies: the Forgiving Tree and the baselines it outperforms."""
+
+from .base import Healer, edge_delta_report
+from .forgiving import ForgivingTreeHealer
+from .naive import (
+    BinaryTreeHealer,
+    DegreeCappedSurrogateHealer,
+    LineHealer,
+    NoRepairHealer,
+    SurrogateHealer,
+    healer_catalog,
+)
+
+__all__ = [
+    "BinaryTreeHealer",
+    "DegreeCappedSurrogateHealer",
+    "ForgivingTreeHealer",
+    "Healer",
+    "LineHealer",
+    "NoRepairHealer",
+    "SurrogateHealer",
+    "edge_delta_report",
+    "healer_catalog",
+]

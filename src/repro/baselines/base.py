@@ -1,0 +1,89 @@
+"""The self-healing interface shared by the Forgiving Tree and baselines.
+
+The paper's Delete and Repair Model (Model 2.1): an adversary deletes one
+node per round; the Player responds by adding (and possibly dropping) edges.
+A :class:`Healer` encapsulates one Player strategy.  All healers operate on
+general connected graphs and expose the same success metrics so the harness
+can compare them head-to-head:
+
+* ``max_degree_increase()`` — Model 2.1 metric 1,
+* the current :meth:`graph` for diameter stretch — metric 2,
+* per-round :class:`~repro.core.events.HealReport` for communication.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Set
+
+from ..core.errors import NodeNotFoundError, SimulationOverError
+from ..core.events import HealReport
+from ..graphs.adjacency import Graph, copy as copy_graph, degrees
+
+
+class Healer(abc.ABC):
+    """A Player strategy in the Delete and Repair game."""
+
+    #: short machine name used in benchmark tables
+    name: str = "abstract"
+
+    def __init__(self, graph: Graph):
+        self._initial = copy_graph(graph)
+        self._original_degree = degrees(graph)
+        self.rounds = 0
+
+    # -- interface ------------------------------------------------------
+    @abc.abstractmethod
+    def delete(self, nid: int) -> HealReport:
+        """Adversary deletes ``nid``; repair and report."""
+
+    @abc.abstractmethod
+    def graph(self) -> Graph:
+        """Current healed network (adjacency)."""
+
+    @property
+    @abc.abstractmethod
+    def alive(self) -> Set[int]:
+        """Surviving node ids."""
+
+    # -- shared metrics ---------------------------------------------------
+    @property
+    def initial_graph(self) -> Graph:
+        return copy_graph(self._initial)
+
+    def original_degree(self, nid: int) -> int:
+        return self._original_degree[nid]
+
+    def degree_increase(self, nid: int) -> int:
+        g = self.graph()
+        if nid not in g:
+            raise NodeNotFoundError(nid, "degree_increase")
+        return len(g[nid]) - self._original_degree[nid]
+
+    def max_degree_increase(self) -> int:
+        g = self.graph()
+        if not g:
+            return 0
+        return max(len(s) - self._original_degree[n] for n, s in g.items())
+
+    def _pre_delete(self, nid: int) -> None:
+        if not self.alive:
+            raise SimulationOverError("all nodes already deleted")
+        if nid not in self.alive:
+            raise NodeNotFoundError(nid, "delete")
+        self.rounds += 1
+
+
+def edge_delta_report(
+    deleted: int, before: Graph, after: Graph, was_internal: bool = False
+) -> HealReport:
+    """Build a HealReport from a before/after graph pair (baseline helper)."""
+    from ..graphs.adjacency import edges
+
+    b, a = edges(before), edges(after)
+    return HealReport(
+        deleted=deleted,
+        was_internal=was_internal,
+        edges_added=frozenset(a - b),
+        edges_removed=frozenset(b - a),
+    )

@@ -1,0 +1,79 @@
+"""The Forgiving Tree as a general-graph healer.
+
+Wraps the core engine for arbitrary connected graphs, the setting of the
+paper's Section 3: "we begin with a rooted spanning tree T, which without
+loss of generality may as well be the entire network".  The healer maintains
+the Forgiving Tree over a BFS spanning tree and keeps the surviving
+*non-tree* edges of the original graph in the overlay (they can only help
+the diameter and never hurt the degree bound, since they existed in G_0).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..core.events import HealReport, edge_key
+from ..core.forgiving_tree import WILL_SPLICE, ForgivingTree
+from ..graphs.adjacency import Graph, require_connected
+from ..graphs.spanning import bfs_tree, non_tree_edges
+from .base import Healer
+
+
+class ForgivingTreeHealer(Healer):
+    """Forgiving Tree self-healing over a general connected graph.
+
+    Parameters mirror :class:`~repro.core.forgiving_tree.ForgivingTree`;
+    ``root`` selects the spanning-tree root (default: smallest id).
+    """
+
+    name = "forgiving-tree"
+
+    def __init__(
+        self,
+        graph: Graph,
+        root: Optional[int] = None,
+        branching: int = 2,
+        will_mode: str = WILL_SPLICE,
+        strict: bool = False,
+    ):
+        super().__init__(graph)
+        require_connected(graph)
+        tree = bfs_tree(graph, root)
+        self.engine = ForgivingTree(
+            tree,
+            root=root,
+            branching=branching,
+            will_mode=will_mode,
+            strict=strict,
+        )
+        self._extra: Set[Tuple[int, int]] = non_tree_edges(graph, tree)
+
+    def delete(self, nid: int) -> HealReport:
+        self._pre_delete(nid)
+        report = self.engine.delete(nid)
+        dropped = {e for e in self._extra if nid in e}
+        self._extra -= dropped
+        if dropped:
+            report.edges_removed = frozenset(set(report.edges_removed) | dropped)
+        return report
+
+    def graph(self) -> Graph:
+        adjacency = self.engine.adjacency()
+        for u, v in self._extra:
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+        return adjacency
+
+    @property
+    def alive(self) -> Set[int]:
+        return self.engine.alive
+
+    # Forgiving-tree specific introspection ------------------------------
+    def tree_overlay(self) -> Graph:
+        """The healed spanning-tree overlay only (no original extras)."""
+        return self.engine.adjacency()
+
+    def max_degree_increase(self) -> int:
+        # Non-tree edges only ever disappear, so the increase is governed
+        # by the engine; still measure on the merged graph for honesty.
+        return super().max_degree_increase()

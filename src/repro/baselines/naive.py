@@ -1,0 +1,190 @@
+"""Naive self-healing strategies the paper's introduction rules out.
+
+Section 1 ("Our Results"): *"A naive approach ... is simply to 'surrogate'
+one neighbor of the deleted node to take on the role of the deleted node
+... an intelligent adversary can always cause this approach to increase the
+degree of some node by Θ(n).  On the other hand, we may try to keep the
+degree increase low by connecting neighbors of the deleted node as a
+straight line, or ... in a binary tree.  However, for both of these
+techniques the diameter can increase by Θ(n) over multiple deletions."*
+
+These strategies are implemented here so the benchmarks can reproduce the
+claimed failure modes head-to-head with the Forgiving Tree:
+
+* :class:`SurrogateHealer` — one neighbor absorbs all of the dead node's
+  edges (degree blow-up under the surrogate-killer adversary).
+* :class:`LineHealer` — the dead node's neighbors are chained in a line
+  (diameter blow-up: roughly +deg per deletion along a path).
+* :class:`BinaryTreeHealer` — the dead node's neighbors are reconnected as
+  a balanced binary tree; better locally, but the adversary still drives
+  the diameter to Θ(n) over repeated deletions because the trees are not
+  coordinated (this is the strategy of the earlier work [3, 19] the paper
+  builds on).
+* :class:`NoRepairHealer` — the control: remove the node, add nothing
+  (measures raw fragmentation, used by the Skype-outage example).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..core.errors import NodeNotFoundError
+from ..core.events import HealReport
+from ..graphs.adjacency import (
+    Graph,
+    add_edge,
+    copy as copy_graph,
+    remove_node,
+)
+from .base import Healer, edge_delta_report
+
+
+class _GraphHealer(Healer):
+    """Shared plumbing: keeps a mutable current graph."""
+
+    def __init__(self, graph: Graph):
+        super().__init__(graph)
+        self._graph = copy_graph(graph)
+
+    def graph(self) -> Graph:
+        return copy_graph(self._graph)
+
+    @property
+    def alive(self) -> Set[int]:
+        return set(self._graph)
+
+    def delete(self, nid: int) -> HealReport:
+        self._pre_delete(nid)
+        before = copy_graph(self._graph)
+        neighbors = sorted(remove_node(self._graph, nid))
+        self._repair(nid, neighbors)
+        return edge_delta_report(
+            nid, before, self._graph, was_internal=len(neighbors) > 1
+        )
+
+    def _repair(self, deleted: int, neighbors: List[int]) -> None:
+        raise NotImplementedError
+
+
+class NoRepairHealer(_GraphHealer):
+    """Control strategy: do nothing after a deletion (may disconnect)."""
+
+    name = "no-repair"
+
+    def _repair(self, deleted: int, neighbors: List[int]) -> None:
+        return
+
+
+class SurrogateHealer(_GraphHealer):
+    """One surviving neighbor inherits every edge of the deleted node.
+
+    The surrogate is chosen deterministically (the smallest-id neighbor),
+    which is exactly what the omniscient adversary exploits: repeatedly
+    deleting neighbors of the current surrogate piles all their edges onto
+    it, driving its degree to Θ(n).
+    """
+
+    name = "surrogate"
+
+    def __init__(self, graph: Graph, choose_max_degree: bool = False):
+        super().__init__(graph)
+        self._choose_max_degree = choose_max_degree
+        self.last_surrogate: Optional[int] = None
+
+    def _repair(self, deleted: int, neighbors: List[int]) -> None:
+        if len(neighbors) <= 1:
+            self.last_surrogate = neighbors[0] if neighbors else None
+            return
+        if self._choose_max_degree:
+            surrogate = max(neighbors, key=lambda x: (len(self._graph[x]), -x))
+        else:
+            surrogate = neighbors[0]
+        self.last_surrogate = surrogate
+        for other in neighbors:
+            if other != surrogate:
+                add_edge(self._graph, surrogate, other)
+
+
+class LineHealer(_GraphHealer):
+    """Connect the deleted node's neighbors in a line (sorted by id).
+
+    Degree increase is at most 2, but the diameter grows by Θ(deg) per
+    deletion: an adversary walking down a path of stars stretches the
+    network to Θ(n) (reproduced by EXP-BASE-DIAM).
+    """
+
+    name = "line"
+
+    def _repair(self, deleted: int, neighbors: List[int]) -> None:
+        for a, b in zip(neighbors, neighbors[1:]):
+            add_edge(self._graph, a, b)
+
+
+class BinaryTreeHealer(_GraphHealer):
+    """Reconnect the deleted node's neighbors as a balanced binary tree.
+
+    The local replacement trees are uncoordinated across deletions, so an
+    adversary can still chain them into Θ(n) diameter (the observation
+    attributed to [3, 19] in the introduction); the Forgiving Tree's global
+    will system is precisely what prevents this.
+    """
+
+    name = "binary-tree"
+
+    def _repair(self, deleted: int, neighbors: List[int]) -> None:
+        if len(neighbors) <= 1:
+            return
+        # neighbors sorted; neighbors[0] becomes the root of a balanced
+        # binary tree, wired breadth-first: parent i -> children 2i+1, 2i+2.
+        for i in range(len(neighbors)):
+            for child in (2 * i + 1, 2 * i + 2):
+                if child < len(neighbors):
+                    add_edge(self._graph, neighbors[i], neighbors[child])
+
+
+class DegreeCappedSurrogateHealer(_GraphHealer):
+    """Surrogate with a degree cap: overflow spills to the next neighbor.
+
+    An intermediate strategy included for the ablation benches: it fixes
+    the degree blow-up but inherits the line healer's diameter growth,
+    illustrating that the tension between the two metrics (Theorem 2) is
+    not an artifact of the two extreme baselines.
+    """
+
+    name = "capped-surrogate"
+
+    def __init__(self, graph: Graph, cap: int = 3):
+        super().__init__(graph)
+        if cap < 2:
+            raise ValueError("cap must allow at least 2 extra edges")
+        self.cap = cap
+
+    def _repair(self, deleted: int, neighbors: List[int]) -> None:
+        if len(neighbors) <= 1:
+            return
+        # Chain surrogates: each absorbs up to `cap` neighbors, then hands
+        # off to the next absorber.
+        absorber_idx = 0
+        absorbed = 0
+        for i in range(1, len(neighbors)):
+            if absorbed >= self.cap:
+                add_edge(self._graph, neighbors[absorber_idx], neighbors[i])
+                absorber_idx = i
+                absorbed = 1
+                continue
+            add_edge(self._graph, neighbors[absorber_idx], neighbors[i])
+            absorbed += 1
+
+
+def healer_catalog():
+    """Name -> factory for every baseline healer (used by the harness)."""
+    from .forgiving import ForgivingTreeHealer
+
+    return {
+        ForgivingTreeHealer.name: ForgivingTreeHealer,
+        SurrogateHealer.name: SurrogateHealer,
+        LineHealer.name: LineHealer,
+        BinaryTreeHealer.name: BinaryTreeHealer,
+        NoRepairHealer.name: NoRepairHealer,
+        DegreeCappedSurrogateHealer.name: DegreeCappedSurrogateHealer,
+    }

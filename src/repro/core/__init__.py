@@ -1,0 +1,60 @@
+"""Core of the reproduction: the Forgiving Tree engine and its parts."""
+
+from .errors import (
+    DisconnectedGraphError,
+    DuplicateNodeError,
+    EmptyStructureError,
+    InvariantViolationError,
+    NodeNotFoundError,
+    NotATreeError,
+    ProtocolError,
+    ReproError,
+    SimulationOverError,
+)
+from .events import (
+    EdgeAdded,
+    EdgeRemoved,
+    HealReport,
+    HelperCreated,
+    HelperDestroyed,
+    HelperTransferred,
+    LeafWillSent,
+    WillPortionSent,
+    edge_key,
+)
+from .forgiving_tree import WILL_REBUILD, WILL_SPLICE, ForgivingTree
+from .slot_tree import SlotTree
+from .state import ALLOWED_TRANSITIONS, HelperState, NodeState
+from .virtual_tree import VirtualTree, VTHelper, VTNode, VTReal
+
+__all__ = [
+    "ALLOWED_TRANSITIONS",
+    "DisconnectedGraphError",
+    "DuplicateNodeError",
+    "EdgeAdded",
+    "EdgeRemoved",
+    "EmptyStructureError",
+    "ForgivingTree",
+    "HealReport",
+    "HelperCreated",
+    "HelperDestroyed",
+    "HelperState",
+    "HelperTransferred",
+    "InvariantViolationError",
+    "LeafWillSent",
+    "NodeNotFoundError",
+    "NodeState",
+    "NotATreeError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationOverError",
+    "SlotTree",
+    "VTHelper",
+    "VTNode",
+    "VTReal",
+    "VirtualTree",
+    "WILL_REBUILD",
+    "WILL_SPLICE",
+    "WillPortionSent",
+    "edge_key",
+]

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the Forgiving Tree reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Invariant violations carry enough context to debug a
+failing healing step (they are raised eagerly by the engines, which check
+their own bookkeeping after every mutation in ``strict`` mode).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class NodeNotFoundError(ReproError, KeyError):
+    """A node id was not present (already deleted, or never existed)."""
+
+    def __init__(self, nid: object, context: str = "") -> None:
+        self.nid = nid
+        self.context = context
+        detail = f" ({context})" if context else ""
+        super().__init__(f"node {nid!r} not found{detail}")
+
+
+class DuplicateNodeError(ReproError, ValueError):
+    """A node id was inserted twice into a structure requiring uniqueness."""
+
+    def __init__(self, nid: object) -> None:
+        self.nid = nid
+        super().__init__(f"duplicate node id {nid!r}")
+
+
+class NotATreeError(ReproError, ValueError):
+    """The input graph was expected to be a tree (connected, acyclic)."""
+
+
+class DisconnectedGraphError(ReproError, ValueError):
+    """The input graph was expected to be connected."""
+
+
+class EmptyStructureError(ReproError, ValueError):
+    """An operation required a non-empty structure."""
+
+
+class InvariantViolationError(ReproError, AssertionError):
+    """A structural invariant of the data structure was violated.
+
+    Raised by :mod:`repro.core.invariants` checkers and by the engines'
+    internal self-checks.  Seeing this error means the *library* is wrong,
+    not the caller.
+    """
+
+    def __init__(self, invariant: str, detail: str = "") -> None:
+        self.invariant = invariant
+        self.detail = detail
+        msg = f"invariant {invariant} violated"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """The distributed protocol reached an inconsistent local state."""
+
+
+class SimulationOverError(ReproError, RuntimeError):
+    """No further deletions are possible (the network is empty)."""

@@ -1,0 +1,132 @@
+"""Event records produced while healing.
+
+Every structural action taken by a healing engine is recorded as a small
+immutable event.  The per-deletion :class:`HealReport` aggregates them and is
+the unit the harness, the tests and the benchmarks consume: it says which
+image edges appeared/disappeared, which helper roles moved, and how much
+(simulated) communication the repair needed.
+
+The sequential engine synthesizes message counts from the events using the
+same accounting the distributed runtime measures for real, which lets tests
+cross-check the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+
+def edge_key(u: int, v: int) -> Tuple[int, int]:
+    """Canonical undirected edge representation (sorted pair)."""
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class EdgeAdded:
+    """An image-graph edge appeared during a repair."""
+
+    u: int
+    v: int
+
+    def key(self) -> Tuple[int, int]:
+        return edge_key(self.u, self.v)
+
+
+@dataclass(frozen=True)
+class EdgeRemoved:
+    """An image-graph edge disappeared (endpoint died or helper bypassed)."""
+
+    u: int
+    v: int
+
+    def key(self) -> Tuple[int, int]:
+        return edge_key(self.u, self.v)
+
+
+@dataclass(frozen=True)
+class HelperCreated:
+    """A real node began simulating a fresh helper node."""
+
+    sim: int
+    helper_id: int
+    ready_heir: bool
+
+
+@dataclass(frozen=True)
+class HelperDestroyed:
+    """A helper node was destroyed (bypassed, spliced, or its region died)."""
+
+    sim: int
+    helper_id: int
+
+
+@dataclass(frozen=True)
+class HelperTransferred:
+    """An existing helper changed simulator (heir/leaf-will inheritance)."""
+
+    helper_id: int
+    old_sim: int
+    new_sim: int
+
+
+@dataclass(frozen=True)
+class WillPortionSent:
+    """A node re-sent one will portion to one child stand-in."""
+
+    owner: int
+    recipient: int
+
+
+@dataclass(frozen=True)
+class LeafWillSent:
+    """A tree leaf re-deposited its leaf will with its parent stand-in."""
+
+    owner: int
+    recipient: int
+
+
+@dataclass
+class HealReport:
+    """Everything that happened while healing one deletion.
+
+    Attributes
+    ----------
+    deleted:
+        The real node removed by the adversary this round.
+    was_internal:
+        True if the node had child slots (an RT was deployed).
+    edges_added / edges_removed:
+        Image-graph edge deltas (canonical sorted pairs).
+    events:
+        The full ordered event log for the round.
+    messages_per_node:
+        Synthesized count of protocol messages each involved node sent
+        (events attributed to their acting node).
+    """
+
+    deleted: int
+    was_internal: bool = False
+    edges_added: FrozenSet[Tuple[int, int]] = frozenset()
+    edges_removed: FrozenSet[Tuple[int, int]] = frozenset()
+    events: tuple = ()
+    messages_per_node: dict = field(default_factory=dict)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_per_node.values())
+
+    @property
+    def max_messages_per_node(self) -> int:
+        if not self.messages_per_node:
+            return 0
+        return max(self.messages_per_node.values())
+
+    def describe(self) -> str:
+        """One-line human readable summary (used by examples)."""
+        kind = "internal" if self.was_internal else "leaf"
+        return (
+            f"deleted {self.deleted} ({kind}): +{len(self.edges_added)} edges, "
+            f"-{len(self.edges_removed)} edges, "
+            f"{self.total_messages} msgs (max/node {self.max_messages_per_node})"
+        )

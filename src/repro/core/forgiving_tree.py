@@ -1,0 +1,989 @@
+"""The Forgiving Tree healing engine (sequential reference implementation).
+
+This is the canonical implementation of the paper's algorithm, operating on
+the explicit virtual tree (:mod:`repro.core.virtual_tree`).  It performs the
+paper's healing steps — ``FixNodeDeletion`` / ``FixLeafDeletion`` with RT
+deployment, ``bypass``, short-circuiting, heir inheritance, and leaf wills —
+as structured mutations whose image graph is maintained incrementally.
+
+The message-level distributed protocol in :mod:`repro.distributed` is a
+refinement of this engine; integration tests assert both produce the same
+image graph after every deletion.
+
+Usage::
+
+    from repro import ForgivingTree
+
+    ft = ForgivingTree({0: [1, 2], 1: [3, 4], 2: [], 3: [], 4: []})
+    report = ft.delete(1)          # adversary kills node 1
+    ft.max_degree_increase()       # never exceeds 3 (Theorem 1.1)
+    ft.adjacency()                 # the healed overlay
+
+The engine accepts any tree given as an adjacency mapping, an edge list, or
+a ``networkx`` graph.  ``branching`` generalizes the binary reconstruction
+trees to the Section 4.2 tradeoff (degree increase ``b + 1``, depth
+``log_b``); ``will_mode`` selects positional O(1) will maintenance
+(``"splice"``, default, the paper's full-version behavior) or literal
+regeneration (``"rebuild"``, Algorithm 3.4's reading) for the ablation
+study.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from .errors import (
+    InvariantViolationError,
+    NodeNotFoundError,
+    NotATreeError,
+    SimulationOverError,
+)
+from .events import (
+    EdgeAdded,
+    EdgeRemoved,
+    HealReport,
+    HelperCreated,
+    HelperDestroyed,
+    HelperTransferred,
+    LeafWillSent,
+    WillPortionSent,
+)
+from .slot_tree import SlotTree
+from .state import HelperState, NodeState
+from .virtual_tree import VirtualTree, VTHelper, VTNode, VTReal
+
+TreeInput = Union[Mapping[int, Iterable[int]], Iterable[Tuple[int, int]], object]
+
+#: Will-maintenance modes.
+WILL_SPLICE = "splice"
+WILL_REBUILD = "rebuild"
+
+
+class _Tally:
+    """Per-round synthesized message accounting (mirrors the distributed
+    layer's counting rules so Theorem 1.3 can be sanity-checked cheaply)."""
+
+    def __init__(self) -> None:
+        self.sent: Dict[int, int] = {}
+
+    def send(self, node: int, count: int = 1) -> None:
+        self.sent[node] = self.sent.get(node, 0) + count
+
+
+class ForgivingTree:
+    """Self-healing tree data structure (see module docstring).
+
+    Parameters
+    ----------
+    tree:
+        The initial tree: adjacency mapping ``{node: [neighbors...]}``, an
+        iterable of edges, or a ``networkx.Graph``.
+    root:
+        Root node id; defaults to the smallest id (the paper roots the BFS
+        tree arbitrarily).
+    branching:
+        Max children per helper node; 2 reproduces the paper, larger values
+        give the Section 4.2 degree/diameter tradeoff (α = branching + 1).
+    will_mode:
+        ``"splice"`` (positional, O(1) portions per change — default) or
+        ``"rebuild"`` (full regeneration, used by the ablation benchmark).
+    strict:
+        Run the full invariant checker after every deletion (slow; tests).
+    """
+
+    def __init__(
+        self,
+        tree: TreeInput,
+        root: Optional[int] = None,
+        branching: int = 2,
+        will_mode: str = WILL_SPLICE,
+        strict: bool = False,
+    ) -> None:
+        if will_mode not in (WILL_SPLICE, WILL_REBUILD):
+            raise ValueError(f"unknown will_mode {will_mode!r}")
+        if branching < 2:
+            raise ValueError("branching must be >= 2")
+        self.branching = branching
+        self.will_mode = will_mode
+        self.strict = strict
+
+        adjacency = _as_adjacency(tree)
+        if not adjacency:
+            raise NotATreeError("empty tree")
+        self.root_id = min(adjacency) if root is None else root
+        if self.root_id not in adjacency:
+            raise NodeNotFoundError(self.root_id, "root")
+        _check_is_tree(adjacency)
+
+        self._events: List[object] = []
+        self._vt = VirtualTree(recorder=self._events.append)
+        self._wills: Dict[int, SlotTree] = {}
+        self.original_degree: Dict[int, int] = {
+            nid: len(neigh) for nid, neigh in adjacency.items()
+        }
+        self.initial_nodes: Set[int] = set(adjacency)
+        self._tally = _Tally()
+        self.rounds = 0
+        self._build(adjacency)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self, adjacency: Mapping[int, Sequence[int]]) -> None:
+        vt = self._vt
+        for nid in adjacency:
+            vt.add_real(nid)
+        root = vt.real(self.root_id)
+        vt.set_root(root)
+        seen = {self.root_id}
+        queue = deque([self.root_id])
+        while queue:
+            nid = queue.popleft()
+            parent = vt.real(nid)
+            kids = sorted(k for k in adjacency[nid] if k not in seen)
+            for kid in kids:
+                seen.add(kid)
+                vt.attach(vt.real(kid), parent)
+                queue.append(kid)
+            self._wills[nid] = SlotTree(kids, branching=self.branching)
+
+    # ------------------------------------------------------------------
+    # public queries
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> Set[int]:
+        """Ids of surviving nodes."""
+        return self._vt.alive
+
+    def __len__(self) -> int:
+        return len(self._vt)
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._vt
+
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """Current healed overlay (image graph) adjacency."""
+        return self._vt.image_adjacency()
+
+    def edges(self) -> Set[Tuple[int, int]]:
+        """Current healed overlay edges (canonical pairs)."""
+        return self._vt.image_edges()
+
+    def degree(self, nid: int) -> int:
+        """Current degree of ``nid`` in the healed overlay."""
+        return self._vt.image_degree(nid)
+
+    def degree_increase(self, nid: int) -> int:
+        """Current degree minus original degree (Theorem 1.1 quantity)."""
+        return self.degree(nid) - self.original_degree[nid]
+
+    def max_degree_increase(self) -> int:
+        """``max_v degree(v, G_t) - degree(v, G_0)`` over survivors."""
+        if not self._vt:
+            return 0
+        return max(self.degree_increase(nid) for nid in self._vt.alive)
+
+    def state_of(self, nid: int) -> NodeState:
+        """Wait/Ready/Deployed snapshot for ``nid`` (Figure 3)."""
+        if nid not in self._vt:
+            raise NodeNotFoundError(nid, "state_of")
+        role = self._vt.role_of(nid)
+        if role is None:
+            return NodeState(nid, HelperState.WAIT, False, False, 0)
+        nkids = len(role.children)
+        if nkids == 1:
+            return NodeState(nid, HelperState.READY, True, True, 1)
+        return NodeState(nid, HelperState.DEPLOYED, True, False, nkids)
+
+    def will_of(self, nid: int) -> SlotTree:
+        """A copy of ``nid``'s current will blueprint."""
+        return self._wills[nid].clone()
+
+    def heir_of(self, nid: int) -> Optional[int]:
+        """Current heir designated by ``nid`` (None for tree leaves)."""
+        return self._wills[nid].heir
+
+    def virtual_tree(self) -> VirtualTree:
+        """The underlying virtual tree (read it, do not mutate it)."""
+        return self._vt
+
+    def render(self) -> str:
+        """ASCII view of the virtual tree (helpers bracketed)."""
+        return self._vt.render()
+
+    def check(self) -> None:
+        """Validate every invariant of the structure; raise on violation."""
+        self._vt.check(branching=self.branching)
+        for nid, will in self._wills.items():
+            will.check()
+            real = self._vt.real(nid)
+            stand_ins = {self._vt.owner(c) for c in real.children}
+            if stand_ins != set(will.stand_ins):
+                raise InvariantViolationError(
+                    "will-slots",
+                    f"node {nid}: will {sorted(will.stand_ins)} vs VT {sorted(stand_ins)}",
+                )
+            for child in real.children:
+                if child.is_helper:
+                    assert isinstance(child, VTHelper)
+                    if self.branching == 2 and len(child.children) != 1:
+                        raise InvariantViolationError(
+                            "I3-ready-heir-slot",
+                            f"helper slot under {nid} has {len(child.children)} children",
+                        )
+                else:
+                    assert isinstance(child, VTReal)
+                    role = self._vt.role_of(child.nid)
+                    if (
+                        self.branching == 2
+                        and role is not None
+                        and not (len(role.children) == 1 and role.children[0] is child)
+                    ):
+                        raise InvariantViolationError(
+                            "I4-plain-child-role",
+                            f"real child {child.nid} of {nid} holds a non-vacuous role",
+                        )
+
+    # ------------------------------------------------------------------
+    # the healing entry point
+    # ------------------------------------------------------------------
+    def delete(self, nid: int) -> HealReport:
+        """Adversary deletes ``nid``; heal and report (Algorithm 3.1)."""
+        if not self._vt:
+            raise SimulationOverError("all nodes already deleted")
+        real = self._vt.real(nid)
+        self._events = []
+        self._vt.recorder = self._events.append
+        self._tally = _Tally()
+
+        was_internal = bool(real.children)
+        if was_internal:
+            self._fix_node_deletion(real)
+        else:
+            self._fix_leaf_deletion(real)
+        self.rounds += 1
+
+        added = frozenset(e.key() for e in self._events if isinstance(e, EdgeAdded))
+        removed = frozenset(e.key() for e in self._events if isinstance(e, EdgeRemoved))
+        report = HealReport(
+            deleted=nid,
+            was_internal=was_internal,
+            edges_added=added - removed,
+            edges_removed=removed - added,
+            events=tuple(self._events),
+            messages_per_node=dict(self._tally.sent),
+        )
+        if self.strict:
+            self.check()
+        return report
+
+    # ------------------------------------------------------------------
+    # FixNodeDeletion (Algorithm 3.3 + makeRT 3.8 + MakeHelper 3.9)
+    # ------------------------------------------------------------------
+    def _fix_node_deletion(self, real: VTReal) -> None:
+        vt = self._vt
+        v = real.nid
+        will = self._wills.pop(v)
+
+        # A vacuous ready heir directly above v (its only child is v itself)
+        # is bookkeeping fiction equivalent to holding no role: drop it.
+        role = vt.role_of(v)
+        if role is not None and len(role.children) == 1 and role.children[0] is real:
+            self._record_destroy(role)
+            vt.splice(role)
+            role = None
+
+        parent_pos = real.parent
+
+        # --- anchor resolution (makeRT): bypass ready-heir slots ---------
+        anchors: Dict[int, VTNode] = {}
+        for child in list(real.children):
+            stand_in = vt.owner(child)
+            if child.is_real:
+                assert isinstance(child, VTReal)
+                child_role = vt.role_of(child.nid)
+                if child_role is not None and self.branching == 2:
+                    # The binary protocol never reaches this (invariant I4).
+                    raise InvariantViolationError(
+                        "I4-plain-child-role",
+                        f"child {child.nid} of dying {v} holds a role",
+                    )
+                vt.detach(child)
+                anchors[stand_in] = child
+            elif len(child.children) == 1:
+                assert isinstance(child, VTHelper)
+                sub = child.children[0]
+                vt.detach(sub)
+                vt.detach(child)
+                self._record_destroy(child)
+                vt.destroy_helper(child)  # frees its simulator (= stand_in)
+                anchors[stand_in] = sub
+                self._tally.send(stand_in, 2)  # bypass brokerage intros
+            else:
+                # Generalized-b only: a wide helper slot stays in place as
+                # the anchor; its simulator remains busy simulating it and
+                # is excluded from new duties by ``resolve_sim`` below.
+                if self.branching == 2:
+                    raise InvariantViolationError(
+                        "I3-ready-heir-slot",
+                        f"slot helper under dying {v} has {len(child.children)} children",
+                    )
+                vt.detach(child)
+                anchors[stand_in] = child
+        if set(anchors) != set(will.stand_ins):
+            raise InvariantViolationError(
+                "will-slots", f"dying {v}: anchors {sorted(anchors)} vs will {sorted(will.stand_ins)}"
+            )
+
+        # Donors must avoid the dying node, the stand-ins with *pending
+        # duties* in this deployment (the planned internal simulators and
+        # the heir — other stand-ins are fair game), and — when the parent
+        # is real — the parent and its stand-ins (a will may never list
+        # its owner or a duplicate).
+        specs = will.internal_specs()
+        heir = will.heir
+        assert heir is not None
+        base_exclude = {v, heir} | {spec.sim for spec in specs}
+        collision_set: Set[int] = set()
+        if parent_pos is not None and parent_pos.is_real:
+            assert isinstance(parent_pos, VTReal)
+            collision_set.add(parent_pos.nid)
+            parent_will = self._wills.get(parent_pos.nid)
+            if parent_will is not None:
+                collision_set |= set(parent_will.stand_ins) - {v}
+            base_exclude |= collision_set
+
+        # Helpers that must survive donor stealing while this repair runs.
+        pinned = tuple(
+            x
+            for x in (parent_pos, role, *anchors.values())
+            if x is not None and x.is_helper
+        )
+
+        # Bypassing slots may have destroyed v's own role (generalized-b:
+        # a donor grant can make v simulate one of its own slot helpers).
+        if role is not None and vt.role_of(v) is None:
+            role = None
+        # A wide slot still simulated by the dying node must move first.
+        if (
+            self.branching > 2
+            and role is not None
+            and any(role is a for a in anchors.values())
+        ):
+            try:
+                donor = self._find_donor(
+                    real, exclude=set(base_exclude), pinned=pinned
+                )
+            except InvariantViolationError as exc:
+                if exc.invariant != "donor" or len(role.children) != 1:
+                    raise
+                # Simulator exhaustion: a one-child anchor helper can be
+                # dropped in place, its child becoming the anchor.
+                sub = role.children[0]
+                vt.detach(sub)
+                for s, a in list(anchors.items()):
+                    if a is role:
+                        anchors[s] = sub
+                self._record_destroy(role)
+                vt.destroy_helper(role)
+                donor = None
+            if donor is not None:
+                old = vt.transfer_role(role, donor)
+                self._events.append(HelperTransferred(role.hid, old, donor))
+                self._tally.send(donor, len(role.children) + 1)
+            role = None
+
+        # --- duty-sim resolution ------------------------------------------
+        # The will plans each helper position's simulator.  In the binary
+        # protocol every planned stand-in is guaranteed free; the
+        # generalized tree substitutes a donor at deployment time when a
+        # planned stand-in is still simulating elsewhere.
+        used_donors: Set[int] = set()
+
+        def steal_from_anchors(extra: Set[int] = frozenset()) -> Optional[int]:
+            """Last-resort simulator source: a one-child helper anchor can
+            be dropped in place (its child becomes the anchor), freeing its
+            simulator.  Keeps the anchors map coherent."""
+            for s in sorted(anchors):
+                a = anchors[s]
+                if (
+                    isinstance(a, VTHelper)
+                    and len(a.children) == 1
+                    and a.sim not in base_exclude
+                    and a.sim not in used_donors
+                    and a.sim not in extra
+                ):
+                    sub = a.children[0]
+                    vt.detach(sub)
+                    anchors[s] = sub
+                    freed = a.sim
+                    self._record_destroy(a)
+                    vt.destroy_helper(a)
+                    self._tally.send(freed, 2)
+                    return freed
+            return None
+
+        def find_duty_donor() -> int:
+            try:
+                return self._find_donor(
+                    real, exclude=base_exclude | used_donors, pinned=pinned
+                )
+            except InvariantViolationError as exc:
+                if exc.invariant != "donor":
+                    raise
+                stolen = steal_from_anchors()
+                if stolen is None:
+                    raise
+                return stolen
+
+        def resolve_sim(planned: int) -> int:
+            if (
+                vt.role_of(planned) is None
+                and planned not in used_donors
+                and planned not in collision_set
+            ):
+                return planned
+            if self.branching == 2:
+                raise InvariantViolationError(
+                    "I4-plain-child-role", f"planned sim {planned} is busy"
+                )
+            donor = find_duty_donor()
+            used_donors.add(donor)
+            self._tally.send(planned, 1)  # redirects its duty to the donor
+            return donor
+
+        # --- build and wire the SubRT helpers (GenerateSubRT shape) ------
+        new_helpers: Dict[int, VTHelper] = {}
+        for spec in specs:
+            sim = resolve_sim(spec.sim)
+            helper = vt.new_helper(sim)
+            new_helpers[spec.sim] = helper  # keyed by *planned* sim
+            self._events.append(HelperCreated(sim, helper.hid, ready_heir=False))
+            self._tally.send(sim, 1)  # claims its role to neighbors
+        for spec in specs:
+            helper = new_helpers[spec.sim]
+            for ref in spec.children:
+                kind, key = ref
+                node = anchors[key] if kind == "leaf" else new_helpers[key]
+                vt.attach(node, helper)
+        rv: VTNode = new_helpers[will.root_sim()] if new_helpers else anchors[will.stand_ins[0]]
+
+        # --- top attachment -----------------------------------------------
+        if role is not None:
+            # v had helper duties: its heir inherits them, and the root of
+            # SubRT(v) takes v's place below v's parent (MakeWill lines 9-12).
+            role_exclusions = self._donor_exclusions(role)
+            inheritor: Optional[int] = None
+            if (
+                vt.role_of(heir) is None
+                and heir not in used_donors
+                and heir not in role_exclusions
+            ):
+                inheritor = heir
+            else:
+                if self.branching == 2:
+                    raise InvariantViolationError(
+                        "I4-plain-child-role", f"heir {heir} cannot inherit from {v}"
+                    )
+                try:
+                    inheritor = self._find_donor(
+                        real,
+                        exclude=base_exclude | used_donors | role_exclusions,
+                        pinned=pinned,
+                    )
+                except InvariantViolationError as exc:
+                    if exc.invariant != "donor":
+                        raise
+                    inheritor = steal_from_anchors(extra=role_exclusions)
+                    # Simulator exhaustion (endgame): a one-child role can
+                    # simply be short-circuited instead of inherited.
+                    if inheritor is None:
+                        if (
+                            len(role.children) == 1
+                            and self._splice_helper(role) is not None
+                        ):
+                            role = None
+                        else:
+                            raise
+                if inheritor is not None:
+                    used_donors.add(inheritor)
+        if role is not None:
+            assert inheritor is not None
+            old_sim = vt.transfer_role(role, inheritor)
+            self._events.append(HelperTransferred(role.hid, old_sim, inheritor))
+            self._tally.send(inheritor, len(role.children) + 1)  # introduces itself
+            if parent_pos is None:
+                # Generalized-b only: a donor-granted role on the root.
+                if self.branching == 2:
+                    raise InvariantViolationError("root-role", "root held a helper role")
+                vt.set_root(None)
+                vt.set_root(rv)
+            else:
+                if parent_pos.is_real and self.branching == 2:
+                    raise InvariantViolationError(
+                        "I4-parent-kind", f"dying {v} holds a role but has a real parent"
+                    )
+                vt.replace_child(parent_pos, real, rv)
+                if parent_pos.is_real:
+                    assert isinstance(parent_pos, VTReal)
+                    self._replace_slot_standin(
+                        parent_pos, v, rv, exclude=base_exclude | used_donors
+                    )
+            # If the inherited helper occupies a slot in a real parent's
+            # will, the stand-in there must follow the new simulator.
+            self._notify_standin_change(role, v, inheritor)
+        if role is None:
+            # v had no helper duties: the heir interposes a fresh one-child
+            # helper — the ready heir (MakeWill lines 13-16).
+            try:
+                ready_sim: Optional[int] = resolve_sim(heir)
+            except InvariantViolationError as exc:
+                if exc.invariant != "donor" or self.branching == 2:
+                    raise
+                # Simulator exhaustion (endgame): the ready heir is a
+                # structural optimization, not a necessity — skip it and
+                # attach the SubRT root directly.
+                ready_sim = None
+            if ready_sim is None:
+                if parent_pos is None:
+                    vt.set_root(None)
+                    vt.set_root(rv)
+                else:
+                    vt.replace_child(parent_pos, real, rv)
+                    if parent_pos.is_real:
+                        assert isinstance(parent_pos, VTReal)
+                        self._replace_slot_standin(
+                            parent_pos, v, rv, exclude=base_exclude | used_donors
+                        )
+                    else:
+                        self._tally.send(vt.owner(parent_pos), 1)
+            else:
+                ready = vt.new_helper(ready_sim)
+                self._events.append(HelperCreated(ready_sim, ready.hid, ready_heir=True))
+                self._tally.send(ready_sim, 2)
+                if parent_pos is None:
+                    # v was the root: the ready heir becomes the virtual root.
+                    vt.set_root(None)  # real is still registered; re-root below
+                    vt.attach(rv, ready)
+                    vt.set_root(ready)
+                else:
+                    vt.replace_child(parent_pos, real, ready)
+                    vt.attach(rv, ready)
+                # The parent must treat the heir as its child (Algorithm 3.3
+                # lines 3-6: "hparent(h) replaces v by h in SubRT(...)").
+                if parent_pos is not None and parent_pos.is_real:
+                    assert isinstance(parent_pos, VTReal)
+                    self._replace_slot_standin(
+                        parent_pos, v, ready, exclude=base_exclude | used_donors
+                    )
+                elif parent_pos is not None:
+                    # Helper parent: its simulator's hchildren field changes.
+                    self._tally.send(vt.owner(parent_pos), 1)
+
+        vt.remove_real(real)
+        self._refresh_leaf_wills(anchors)
+
+    # ------------------------------------------------------------------
+    # FixLeafDeletion (Algorithm 3.4 + MakeLeafWill 3.7)
+    # ------------------------------------------------------------------
+    def _fix_leaf_deletion(self, real: VTReal) -> None:
+        vt = self._vt
+        v = real.nid
+        self._wills.pop(v, None)
+        role = vt.role_of(v)
+        parent_pos = real.parent
+
+        if parent_pos is None:
+            # v is the virtual root and childless: the network empties.
+            if role is not None:
+                raise InvariantViolationError("root-role", "childless root with a role")
+            vt.remove_real(real)
+            return
+
+        vt.detach(real)
+
+        if role is None:
+            self._absorb_child_loss(parent_pos, lost_stand_in=v)
+        elif role is parent_pos:
+            # v's own helper sits directly above it (Algorithm 3.7's special
+            # case).  Image-equivalent resolution: short-circuit it.
+            remaining = len(role.children)
+            if remaining == 0:
+                # vacuous ready heir: vanish and cascade the slot loss.
+                grand = vt.detach(role)
+                self._record_destroy(role)
+                vt.destroy_helper(role)
+                if grand is not None:
+                    self._absorb_child_loss(grand, lost_stand_in=v)
+            else:
+                spliced = None
+                if remaining == 1:
+                    spliced = self._splice_helper(role)
+                if spliced is None:
+                    # branching > 2 only: the helper keeps its children but
+                    # its simulator died; find a donor to take it over.
+                    donor = self._find_donor(
+                        role,
+                        exclude={v} | self._donor_exclusions(role),
+                        pinned=(role, parent_pos),
+                    )
+                    old = vt.transfer_role(role, donor)
+                    self._events.append(HelperTransferred(role.hid, old, donor))
+                    self._tally.send(donor, len(role.children) + 1)
+                    self._notify_standin_change(role, old, donor)
+        else:
+            # Non-adjacent helper duties: the leaf will (Algorithm 3.7) hands
+            # them to the parent, who short-circuits its own helper first
+            # (Algorithm 3.4 lines 7-16).
+            freed: Optional[int] = None
+            cascade_to: Optional[VTNode] = None
+            cascade_standin = 0
+            if parent_pos.is_real:
+                if self.branching == 2:
+                    raise InvariantViolationError(
+                        "I4-leaf-parent",
+                        f"leaf {v} holds a non-adjacent role under a real parent",
+                    )
+                # Generalized-b: a busy plain child died; the parent's will
+                # just loses the slot and the role finds a donor below.
+                assert isinstance(parent_pos, VTReal)
+                self._absorb_child_loss(parent_pos, lost_stand_in=v)
+            else:
+                assert isinstance(parent_pos, VTHelper)
+                remaining = len(parent_pos.children)
+                if remaining == 0:
+                    cascade_to = vt.detach(parent_pos)
+                    freed = parent_pos.sim
+                    cascade_standin = freed
+                    self._record_destroy(parent_pos)
+                    vt.destroy_helper(parent_pos)
+                elif remaining == 1:
+                    # bypass(z): short-circuit the parent's helper, freeing
+                    # its simulator to inherit the leaf will.
+                    if self._splice_helper(parent_pos) is not None:
+                        freed = parent_pos.sim
+            if (
+                freed is None
+                or freed == v
+                or vt.role_of(freed) is not None
+                or self._standin_collision(role, freed)
+            ):
+                freed = self._find_donor(
+                    role,
+                    exclude={v} | self._donor_exclusions(role),
+                    pinned=(role, parent_pos),
+                )
+            old = vt.transfer_role(role, freed)
+            self._events.append(HelperTransferred(role.hid, old, freed))
+            self._tally.send(freed, len(role.children) + 1)
+            self._notify_standin_change(role, old, freed)
+            # Cascade only after the inheritance settled: the cascade may
+            # legitimately splice the very helper just inherited.
+            if not parent_pos.is_real and cascade_to is not None:
+                self._absorb_child_loss(cascade_to, lost_stand_in=cascade_standin)
+
+        vt.remove_real(real)
+
+    # ------------------------------------------------------------------
+    # cascading slot loss ("short-circuit" of redundant virtual nodes)
+    # ------------------------------------------------------------------
+    def _absorb_child_loss(self, node: VTNode, lost_stand_in: int) -> None:
+        """``node`` lost one child slot entirely.
+
+        Real parents update their wills; helper parents left with a single
+        child are redundant and short-circuited; helpers left childless
+        vanish and the loss cascades upward.
+        """
+        vt = self._vt
+        if node.is_real:
+            assert isinstance(node, VTReal)
+            self._will_remove(node.nid, lost_stand_in)
+            return
+        assert isinstance(node, VTHelper)
+        remaining = len(node.children)
+        if remaining == 0:
+            grand = vt.detach(node)
+            sim = node.sim
+            self._record_destroy(node)
+            vt.destroy_helper(node)
+            if grand is not None:
+                self._absorb_child_loss(grand, lost_stand_in=sim)
+        elif remaining == 1:
+            # Helpers never *gain* children, so a helper at one child was at
+            # two: it is a redundant virtual node — short-circuit it.
+            self._splice_helper(node)
+        # else: still >= 2 children: nothing to do.
+
+    # ------------------------------------------------------------------
+    # will maintenance
+    # ------------------------------------------------------------------
+    def _will_remove(self, p: int, stand_in: int) -> None:
+        will = self._wills[p]
+        if self.will_mode == WILL_SPLICE:
+            delta = will.remove(stand_in)
+            for t in delta.touched:
+                self._events.append(WillPortionSent(p, t))
+                self._tally.send(p, 1)
+        else:
+            self._rebuild_will(p)
+        if not self._wills[p] and self._vt.role_of(p) is not None:
+            # p just became a tree leaf with helper duties: deposit LeafWill.
+            self._send_leaf_will(p)
+
+    def _will_replace(self, p: int, old: int, new: int) -> None:
+        will = self._wills[p]
+        if self.will_mode == WILL_SPLICE:
+            delta = will.replace(old, new)
+            for t in delta.touched:
+                self._events.append(WillPortionSent(p, t))
+                self._tally.send(p, 1)
+        else:
+            self._rebuild_will(p)
+
+    def _rebuild_will(self, p: int) -> None:
+        """Literal Algorithm 3.4 behavior: regenerate and retransmit all."""
+        real = self._vt.real(p)
+        stand_ins = [self._vt.owner(c) for c in real.children]
+        self._wills[p] = SlotTree(stand_ins, branching=self.branching)
+        for s in stand_ins:
+            self._events.append(WillPortionSent(p, s))
+            self._tally.send(p, 1)
+
+    def _refresh_leaf_wills(self, anchors: Mapping[int, VTNode]) -> None:
+        """Children that are tree leaves re-deposit their leaf wills
+        (Algorithms 3.3/3.4, trailing loop)."""
+        for stand_in in anchors:
+            if stand_in not in self._vt:
+                continue
+            real = self._vt.real(stand_in)
+            if not real.children and self._vt.role_of(stand_in) is not None:
+                self._send_leaf_will(stand_in)
+
+    def _send_leaf_will(self, nid: int) -> None:
+        real = self._vt.real(nid)
+        parent = real.parent
+        if parent is None:
+            return
+        recipient = self._vt.owner(parent)
+        if recipient != nid:
+            self._events.append(LeafWillSent(nid, recipient))
+            self._tally.send(nid, 1)
+
+    def _replace_slot_standin(
+        self, parent: VTReal, old: int, slot_node: VTNode, exclude: Set[int]
+    ) -> None:
+        """Rename a slot of ``parent``'s will from ``old`` to the owner of
+        its new occupant, resolving name collisions at use time.
+
+        Generalized-b only ever needs the resolution: a collision means the
+        occupant's owner already answers for another slot of the same will
+        (or is the will's owner itself), so either the occupant helper or
+        the competing role is re-donated first.
+        """
+        vt = self._vt
+        will = self._wills.get(parent.nid)
+        if will is None:
+            return
+        new = vt.owner(slot_node)
+        if new == old:
+            return
+        collides = new == parent.nid or new in will
+        if collides:
+            if self.branching == 2:
+                raise InvariantViolationError(
+                    "will-slots", f"stand-in collision at {parent.nid}: {new}"
+                )
+            if isinstance(slot_node, VTHelper) and slot_node.sim == new:
+                donor = self._find_donor(parent, exclude=exclude | {new, parent.nid})
+                old_o = vt.transfer_role(slot_node, donor)
+                self._events.append(HelperTransferred(slot_node.hid, old_o, donor))
+                self._tally.send(donor, len(slot_node.children) + 1)
+                new = donor
+            else:
+                other = vt.role_of(new)
+                if other is None or other.parent is not parent:
+                    raise InvariantViolationError(
+                        "will-slots",
+                        f"unresolvable stand-in collision at {parent.nid}: {new}",
+                    )
+                donor = self._find_donor(parent, exclude=exclude | {new, parent.nid})
+                old_o = vt.transfer_role(other, donor)
+                self._events.append(HelperTransferred(other.hid, old_o, donor))
+                self._tally.send(donor, len(other.children) + 1)
+                self._will_replace(parent.nid, new, donor)
+        self._will_replace(parent.nid, old, new)
+
+    def _donor_exclusions(self, helper: VTHelper) -> Set[int]:
+        """Stand-ins a donor for ``helper`` must avoid: if the helper is a
+        will slot of a real parent, renaming the slot's stand-in to an
+        existing sibling stand-in would collide — and the will's owner can
+        never stand in for its own will."""
+        parent = helper.parent
+        if parent is not None and parent.is_real:
+            assert isinstance(parent, VTReal)
+            out = {parent.nid}
+            will = self._wills.get(parent.nid)
+            if will is not None:
+                out |= set(will.stand_ins)
+            return out
+        return set()
+
+    def _splice_helper(self, helper: VTHelper) -> Optional[VTNode]:
+        """Short-circuit a one-child helper with full will bookkeeping.
+
+        Returns the moved-up child, or ``None`` when the splice must be
+        skipped (generalized-b: the moved-up occupant's owner would collide
+        with a sibling stand-in of a real parent's will — the redundant
+        helper is then simply kept, which is always legal).
+        """
+        vt = self._vt
+        moved = helper.children[0]
+        parent = helper.parent
+        sim = helper.sim
+        will_fix: Optional[Tuple[int, int, int]] = None
+        if parent is not None and parent.is_real:
+            assert isinstance(parent, VTReal)
+            will = self._wills.get(parent.nid)
+            if will is not None and sim in will:
+                new_standin = vt.owner(moved)
+                if new_standin != sim and (
+                    new_standin in will or new_standin == parent.nid
+                ):
+                    return None  # collision: keep the redundant helper
+                if new_standin != sim:
+                    will_fix = (parent.nid, sim, new_standin)
+        self._record_destroy(helper)
+        vt.splice(helper)
+        self._tally.send(sim, 2)
+        if will_fix is not None:
+            self._will_replace(*will_fix)
+        return moved
+
+    def _standin_collision(self, helper: VTHelper, candidate: int) -> bool:
+        """Would renaming ``helper``'s will-slot stand-in to ``candidate``
+        collide — with a sibling stand-in, or with the will's own owner?"""
+        parent = helper.parent
+        if parent is None or not parent.is_real:
+            return False
+        assert isinstance(parent, VTReal)
+        if candidate == parent.nid:
+            return True  # a will may never list its owner as a stand-in
+        will = self._wills.get(parent.nid)
+        if will is None:
+            return False
+        return candidate in will and candidate != helper.sim
+
+    def _notify_standin_change(self, helper: VTHelper, old: int, new: int) -> None:
+        """A helper's simulator changed: if the helper occupies a slot of a
+        real parent's will, the will's stand-in must follow (the paper's
+        "p detects this and sets its flags accordingly")."""
+        parent = helper.parent
+        if parent is not None and parent.is_real:
+            assert isinstance(parent, VTReal)
+            if old in self._wills[parent.nid]:
+                self._will_replace(parent.nid, old, new)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def _find_donor(
+        self,
+        start: VTNode,
+        exclude: Set[int],
+        pinned: Tuple[VTNode, ...] = (),
+    ) -> int:
+        """A live real node able to take on helper duties.
+
+        Only the generalized (branching > 2) tree ever needs this — the
+        binary protocol's inheritance rules always free the right simulator
+        locally, which the tests assert.  Search order:
+
+        1. nearest role-free real by BFS from ``start`` (locality),
+        2. any role-free real (global scan),
+        3. *steal*: splice some one-child helper — always legal, it only
+           shortens paths — and reuse its freed simulator.
+
+        A counting argument makes the chain total: if every live real held
+        a role and every helper had >= 2 children, the virtual tree would
+        need more edges than a tree can have.
+        """
+        vt = self._vt
+
+        queue: deque[VTNode] = deque([start])
+        seen_nodes: Set[int] = set()
+        while queue:
+            node = queue.popleft()
+            if id(node) in seen_nodes:
+                continue
+            seen_nodes.add(id(node))
+            if (
+                isinstance(node, VTReal)
+                and node.nid not in exclude
+                and vt.role_of(node.nid) is None
+            ):
+                return node.nid
+            if node.parent is not None:
+                queue.append(node.parent)
+            queue.extend(node.children)
+
+        for nid in sorted(vt.alive):
+            if nid not in exclude and vt.role_of(nid) is None:
+                return nid
+
+        for helper in sorted(vt.helpers(), key=lambda h: h.hid):
+            if len(helper.children) != 1 or helper.sim in exclude:
+                continue
+            if any(helper is p for p in pinned):
+                continue  # load-bearing for the ongoing repair
+            if helper.parent is not None and helper.parent.is_real:
+                assert isinstance(helper.parent, VTReal)
+                if helper.parent.nid not in self._wills:
+                    continue  # slot of a node mid-deletion: leave it alone
+            sim = helper.sim
+            if self._splice_helper(helper) is not None:
+                return sim
+
+        raise InvariantViolationError("donor", "no role-free node available")
+
+    def _record_destroy(self, helper: VTHelper) -> None:
+        self._events.append(HelperDestroyed(helper.sim, helper.hid))
+
+
+# ----------------------------------------------------------------------
+# input normalization
+# ----------------------------------------------------------------------
+def _as_adjacency(tree: TreeInput) -> Dict[int, List[int]]:
+    """Normalize tree input to a symmetric adjacency dict."""
+    if hasattr(tree, "adj") and hasattr(tree, "nodes"):  # networkx.Graph
+        return {int(n): sorted(int(m) for m in tree.adj[n]) for n in tree.nodes}
+    if isinstance(tree, Mapping):
+        adj: Dict[int, Set[int]] = {int(n): set() for n in tree}
+        for n, neighbors in tree.items():
+            for m in neighbors:
+                adj.setdefault(int(n), set()).add(int(m))
+                adj.setdefault(int(m), set()).add(int(n))
+        return {n: sorted(s) for n, s in adj.items()}
+    adj = {}
+    for u, v in tree:  # type: ignore[union-attr]
+        adj.setdefault(int(u), set()).add(int(v))
+        adj.setdefault(int(v), set()).add(int(u))
+    return {n: sorted(s) for n, s in adj.items()}
+
+
+def _check_is_tree(adjacency: Mapping[int, Sequence[int]]) -> None:
+    n = len(adjacency)
+    m = sum(len(v) for v in adjacency.values()) // 2
+    if m != n - 1:
+        raise NotATreeError(f"{n} nodes but {m} edges")
+    start = next(iter(adjacency))
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        cur = queue.popleft()
+        for nxt in adjacency[cur]:
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    if len(seen) != n:
+        raise NotATreeError("graph is not connected")

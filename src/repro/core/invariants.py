@@ -1,0 +1,153 @@
+"""Invariant checkers for the Forgiving Tree.
+
+These functions validate everything the paper guarantees (and the internal
+bookkeeping those guarantees rest on).  They are used three ways:
+
+* the engine's ``strict`` mode calls them after every deletion;
+* unit tests call them at chosen checkpoints;
+* property-based tests (hypothesis) fuzz random trees and deletion orders
+  and call :func:`check_full` continuously.
+
+``check_full`` raises :class:`~repro.core.errors.InvariantViolationError`
+with the name of the violated invariant (I1-I6 from DESIGN.md, or the
+theorem bound that failed).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Iterable, Set, Tuple
+
+from .errors import InvariantViolationError
+from .forgiving_tree import ForgivingTree
+from .virtual_tree import VTHelper
+
+
+def check_degree_bound(ft: ForgivingTree) -> None:
+    """Theorem 1.1: no node's degree grows by more than branching + 1."""
+    bound = ft.branching + 1
+    for nid in ft.alive:
+        inc = ft.degree_increase(nid)
+        if inc > bound:
+            raise InvariantViolationError(
+                "thm1-degree", f"node {nid} degree increase {inc} > {bound}"
+            )
+
+
+def check_connectivity(ft: ForgivingTree) -> None:
+    """The healed overlay stays connected while any node survives."""
+    adjacency = ft.adjacency()
+    if not adjacency:
+        return
+    start = next(iter(adjacency))
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        cur = queue.popleft()
+        for nxt in adjacency[cur]:
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    if len(seen) != len(adjacency):
+        raise InvariantViolationError(
+            "connectivity", f"{len(adjacency) - len(seen)} nodes unreachable"
+        )
+
+
+def check_acyclic_image(ft: ForgivingTree) -> bool:
+    """The image graph may legitimately contain short cycles (Figure 5's
+    (b, c, d) cycle); return whether it is currently a tree.  Not an
+    invariant — exposed for the tests that verify cycles *can* occur."""
+    adjacency = ft.adjacency()
+    n = len(adjacency)
+    m = sum(len(s) for s in adjacency.values()) // 2
+    return m == n - 1
+
+
+def check_helper_constraints(ft: ForgivingTree) -> None:
+    """I1/I2: sims unique and alive; helper arity within [1, branching]."""
+    vt = ft.virtual_tree()
+    sims: Set[int] = set()
+    for helper in vt.helpers():
+        if helper.sim in sims:
+            raise InvariantViolationError("I1-injective-sims", f"sim {helper.sim} reused")
+        sims.add(helper.sim)
+        if helper.sim not in vt:
+            raise InvariantViolationError("I1-live-sims", f"sim {helper.sim} is dead")
+        if not 1 <= len(helper.children) <= ft.branching:
+            raise InvariantViolationError(
+                "I2-helper-arity", f"helper has {len(helper.children)} children"
+            )
+
+
+def check_slot_invariants(ft: ForgivingTree) -> None:
+    """I3/I4/I6 via the engine's own structural checker."""
+    ft.check()
+
+
+def diameter_bound(original_diameter: int, max_degree: int, branching: int = 2) -> int:
+    """The Theorem 1.2 envelope we assert empirically.
+
+    The proof bounds each original tree edge on a root path by a factor
+    ``log ∆ + 1`` (the depth of a reconstruction tree plus its ready heir),
+    and the diameter by twice the root-path height.  We use the concrete
+    safe form ``(⌈log_b ∆⌉ + 2) · (D + 1) + 2`` which dominates the paper's
+    ``O(D log ∆)`` constant-free statement for every graph we generate.
+    """
+    if max_degree <= 1:
+        return max(original_diameter, 1) + 2
+    log_delta = max(1, math.ceil(math.log(max_degree, branching)))
+    return (log_delta + 2) * (original_diameter + 1) + 2
+
+
+def check_diameter_bound(
+    ft: ForgivingTree, original_diameter: int, max_degree: int
+) -> None:
+    """Theorem 1.2: healed diameter within the O(D log ∆) envelope."""
+    adjacency = ft.adjacency()
+    if len(adjacency) <= 1:
+        return
+    measured = _exact_diameter(adjacency)
+    bound = diameter_bound(original_diameter, max_degree, ft.branching)
+    if measured > bound:
+        raise InvariantViolationError(
+            "thm1-diameter", f"diameter {measured} > bound {bound}"
+        )
+
+
+def check_full(
+    ft: ForgivingTree,
+    original_diameter: int | None = None,
+    max_degree: int | None = None,
+) -> None:
+    """Run every invariant (and the theorem bounds when context is given)."""
+    ft.virtual_tree().check(branching=ft.branching)
+    check_slot_invariants(ft)
+    check_helper_constraints(ft)
+    check_degree_bound(ft)
+    check_connectivity(ft)
+    if original_diameter is not None and max_degree is not None:
+        check_diameter_bound(ft, original_diameter, max_degree)
+
+
+def _exact_diameter(adjacency: Dict[int, Set[int]]) -> int:
+    best = 0
+    for source in adjacency:
+        dist = _bfs(adjacency, source)
+        if len(dist) != len(adjacency):
+            raise InvariantViolationError("connectivity", "disconnected during diameter")
+        best = max(best, max(dist.values()))
+    return best
+
+
+def _bfs(adjacency: Dict[int, Set[int]], source: int) -> Dict[int, int]:
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        cur = queue.popleft()
+        for nxt in adjacency[cur]:
+            if nxt not in dist:
+                dist[nxt] = dist[cur] + 1
+                queue.append(nxt)
+    return dist

@@ -1,0 +1,621 @@
+"""Slot trees: the shape of a node's Reconstruction Tree (SubRT).
+
+A *slot tree* is the will's blueprint for ``GenerateSubRT`` (Algorithm 3.5 of
+the paper): a full search tree whose
+
+* **leaves** are the child *slots* of a node ``v``, identified by their
+  *stand-in* (the real node currently answering for that child edge), in
+  left-to-right key order, and whose
+* **internal positions** are each *assigned* to a distinct non-heir stand-in
+  — the real node that will simulate the corresponding helper node when
+  ``v`` dies.
+
+For the paper's binary case the construction is exactly Algorithm 3.5: the
+leaves are sorted ascending by ID, the heir is the highest-ID child, and the
+``d - 1`` internal positions are keyed by the maximum stand-in of their left
+subtree, which enumerates exactly the non-heir children.  The generalized
+``branching = b`` tree implements the Section 4.2 remark (degree increase
+``α = b + 1``, stretch ``≈ 2·log_b Δ``).
+
+Maintenance is **positional** (never re-sorted after construction), which is
+what makes the paper's O(1)-messages-per-deletion claim (Theorem 1.3) true:
+
+* ``remove(y)`` splices the dead leaf out.  Its parent internal position, if
+  left with a single child, is spliced too, freeing its simulator — the
+  paper's "helper node which has just decreased in degree from 3 to 2".  The
+  freed simulator re-keys the internal position that was assigned to ``y``
+  (if any) and becomes the new heir if ``y`` was the heir.
+* ``replace(old, new)`` substitutes a stand-in in place (used when an heir
+  takes a dead child's slot, or when a leaf will is inherited).
+
+Both operations report exactly which stand-ins' will *portions* changed so
+that the distributed layer can count retransmissions; the deltas are O(1)
+per operation, which the test-suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from .errors import (
+    DuplicateNodeError,
+    EmptyStructureError,
+    InvariantViolationError,
+    NodeNotFoundError,
+)
+
+#: Reference to a position in the slot tree, used when describing structure:
+#: ``("leaf", stand_in)`` or ``("internal", sim)`` or ``("top",)`` for the
+#: position above the root.
+PosRef = Tuple[str, ...]
+
+
+class _Leaf:
+    """A leaf position: one child slot, identified by its stand-in."""
+
+    __slots__ = ("stand_in", "parent")
+
+    def __init__(self, stand_in: int, parent: Optional["_Internal"] = None):
+        self.stand_in = stand_in
+        self.parent = parent
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Leaf({self.stand_in})"
+
+
+class _Internal:
+    """An internal position: a helper node to be simulated by ``sim``."""
+
+    __slots__ = ("sim", "children", "parent")
+
+    def __init__(self, sim: int, children: List[Union["_Internal", _Leaf]]):
+        self.sim = sim
+        self.children = children
+        self.parent: Optional[_Internal] = None
+        for child in children:
+            child.parent = self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Internal(sim={self.sim}, n={len(self.children)})"
+
+
+_Pos = Union[_Internal, _Leaf]
+
+
+@dataclass(frozen=True)
+class RemovalDelta:
+    """What changed when a leaf slot was removed.
+
+    Attributes
+    ----------
+    emptied:
+        The tree had a single leaf and is now empty.
+    spliced_sim:
+        Simulator freed because its internal position was spliced out
+        (``None`` if no internal was spliced — only possible for b > 2).
+    reassigned:
+        ``(freed_position_old_sim, new_sim)`` if an internal position that
+        was assigned to the dead stand-in got a new simulator.
+    new_heir:
+        The new heir stand-in if the dead slot was the heir.
+    touched:
+        Stand-ins whose will portion changed and must be retransmitted
+        (always O(1) of them).
+    """
+
+    emptied: bool = False
+    spliced_sim: Optional[int] = None
+    reassigned: Optional[Tuple[int, int]] = None
+    new_heir: Optional[int] = None
+    touched: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ReplaceDelta:
+    """What changed when a stand-in was substituted positionally."""
+
+    was_heir: bool
+    had_internal: bool
+    touched: Tuple[int, ...] = ()
+
+
+@dataclass
+class InternalSpec:
+    """Structural description of one internal position (for deployment)."""
+
+    sim: int
+    parent: PosRef  # ("internal", sim) or ("top",)
+    children: List[PosRef] = field(default_factory=list)
+
+
+class SlotTree:
+    """The blueprint of a node's Reconstruction Tree (see module docstring).
+
+    Parameters
+    ----------
+    stand_ins:
+        The child stand-ins.  They are sorted ascending at construction
+        (Algorithm 3.5); the maximum becomes the heir.
+    branching:
+        Maximum number of children per internal position (paper: 2).
+    """
+
+    def __init__(self, stand_ins: Sequence[int], branching: int = 2):
+        if branching < 2:
+            raise ValueError(f"branching must be >= 2, got {branching}")
+        ids = sorted(stand_ins)
+        if len(set(ids)) != len(ids):
+            dup = next(x for i, x in enumerate(ids) if i and ids[i - 1] == x)
+            raise DuplicateNodeError(dup)
+        self.branching = branching
+        self._leaves: Dict[int, _Leaf] = {}
+        self._internal_by_sim: Dict[int, _Internal] = {}
+        self._root: Optional[_Pos] = None
+        self._heir: Optional[int] = None
+        if ids:
+            self._heir = ids[-1]
+            self._root = self._build(ids)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self, ids: Sequence[int]) -> _Pos:
+        if len(ids) == 1:
+            leaf = _Leaf(ids[0])
+            self._leaves[ids[0]] = leaf
+            return leaf
+        groups = _split_even(ids, self.branching)
+        children = [self._build(g) for g in groups]
+        sim = max(groups[0])  # BST separator: max of first subtree
+        node = _Internal(sim, children)
+        self._internal_by_sim[sim] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def __bool__(self) -> bool:
+        return bool(self._leaves)
+
+    def __contains__(self, stand_in: int) -> bool:
+        return stand_in in self._leaves
+
+    @property
+    def heir(self) -> Optional[int]:
+        """The heir stand-in (Algorithm 3.2 line 8; None when empty)."""
+        return self._heir
+
+    @property
+    def stand_ins(self) -> List[int]:
+        """Leaf stand-ins in left-to-right order."""
+        out: List[int] = []
+        if self._root is not None:
+            _collect_leaves(self._root, out)
+        return out
+
+    @property
+    def internal_sims(self) -> List[int]:
+        """Simulators currently assigned to internal positions."""
+        return sorted(self._internal_by_sim)
+
+    def has_internal(self, stand_in: int) -> bool:
+        """Does ``stand_in`` simulate an internal position of this will?"""
+        return stand_in in self._internal_by_sim
+
+    def depth(self) -> int:
+        """Longest root-to-leaf edge count (0 for a single leaf)."""
+        if self._root is None:
+            raise EmptyStructureError("depth of empty slot tree")
+        return _depth(self._root)
+
+    def root_ref(self) -> PosRef:
+        """Reference to the root position (``rv`` in Algorithm 3.6)."""
+        if self._root is None:
+            raise EmptyStructureError("root of empty slot tree")
+        return _ref(self._root)
+
+    def root_sim(self) -> int:
+        """Stand-in answering for the root position."""
+        if self._root is None:
+            raise EmptyStructureError("root of empty slot tree")
+        if isinstance(self._root, _Leaf):
+            return self._root.stand_in
+        return self._root.sim
+
+    # ------------------------------------------------------------------
+    # structural description (used to deploy the RT and to build portions)
+    # ------------------------------------------------------------------
+    def internal_specs(self) -> List[InternalSpec]:
+        """All internal positions with parent/children references."""
+        specs: List[InternalSpec] = []
+        for sim in sorted(self._internal_by_sim):
+            node = self._internal_by_sim[sim]
+            parent = ("top",) if node.parent is None else ("internal", node.parent.sim)
+            spec = InternalSpec(sim=sim, parent=parent)
+            spec.children = [_ref(c) for c in node.children]
+            specs.append(spec)
+        return specs
+
+    def leaf_parent_sim(self, stand_in: int) -> Optional[int]:
+        """Simulator of the internal position directly above a leaf.
+
+        ``None`` means the leaf *is* the root (single-slot will).
+        """
+        leaf = self._leaf(stand_in)
+        return None if leaf.parent is None else leaf.parent.sim
+
+    def attachment_sim(self, stand_in: int) -> Optional[int]:
+        """The stand-in a leaf connects to in the *image* graph.
+
+        This is the paper's ``nextparent`` rule in Algorithm 3.6 line 4: a
+        leaf normally connects to its parent internal position's simulator,
+        but when that simulator is the leaf itself (an image self-loop) it
+        connects to the grandparent position instead.  ``None`` means the
+        connection goes above the root of the SubRT (to the heir helper or
+        to the deleted node's parent).
+        """
+        leaf = self._leaf(stand_in)
+        pos = leaf.parent
+        if pos is not None and pos.sim == stand_in:
+            pos = pos.parent
+        return None if pos is None else pos.sim
+
+    def internal_parent_sim(self, stand_in: int) -> Optional[int]:
+        """Simulator above ``stand_in``'s internal position (None = top)."""
+        node = self._internal(stand_in)
+        return None if node.parent is None else node.parent.sim
+
+    def internal_children_refs(self, stand_in: int) -> List[PosRef]:
+        """Children references of ``stand_in``'s internal position."""
+        node = self._internal(stand_in)
+        return [_ref(c) for c in node.children]
+
+    def as_shape(self):
+        """Nested-tuple rendering, for tests and debugging.
+
+        Leaves render as their stand-in; internals as
+        ``(sim, child, child, ...)``.
+        """
+        if self._root is None:
+            return None
+        return _shape(self._root)
+
+    # ------------------------------------------------------------------
+    # positional maintenance
+    # ------------------------------------------------------------------
+    def remove(self, stand_in: int) -> RemovalDelta:
+        """Remove a dead leaf slot positionally (see module docstring)."""
+        leaf = self._leaf(stand_in)
+        del self._leaves[stand_in]
+        parent = leaf.parent
+
+        if parent is None:  # single-slot will
+            self._root = None
+            self._heir = None
+            return RemovalDelta(emptied=True)
+
+        parent.children.remove(leaf)
+        touched: List[int] = []
+        spliced_sim: Optional[int] = None
+        freed: List[int] = []
+
+        # The dead stand-in's own internal assignment (if any) is now vacant.
+        vacant = self._internal_by_sim.pop(stand_in, None)
+
+        if len(parent.children) == 1:
+            # "short-circuit": splice the one-child internal position out.
+            only = parent.children[0]
+            self._splice(parent, only)
+            spliced_sim = parent.sim
+            if parent is vacant:
+                vacant = None  # the vacant position itself was spliced away
+            else:
+                self._internal_by_sim.pop(parent.sim, None)
+                freed.append(parent.sim)
+            touched.append(parent.sim)  # it lost its internal assignment
+            touched.extend(self._around(only))
+        else:
+            touched.extend(self._around(parent))
+
+        reassigned: Optional[Tuple[int, int]] = None
+        if vacant is not None:
+            new_sim = self._pick_free(freed)
+            vacant.sim = new_sim
+            self._internal_by_sim[new_sim] = vacant
+            if new_sim in freed:
+                freed.remove(new_sim)
+            reassigned = (stand_in, new_sim)
+            touched.append(new_sim)
+            touched.extend(self._around(vacant))
+
+        new_heir: Optional[int] = None
+        if stand_in == self._heir:
+            new_heir = self._pick_free(freed)
+            self._heir = new_heir
+            touched.append(new_heir)
+
+        return RemovalDelta(
+            emptied=False,
+            spliced_sim=spliced_sim,
+            reassigned=reassigned,
+            new_heir=new_heir,
+            touched=tuple(dict.fromkeys(t for t in touched if t in self._leaves)),
+        )
+
+    def replace(self, old: int, new: int) -> ReplaceDelta:
+        """Substitute stand-in ``old`` by ``new`` positionally.
+
+        Used when a dead child's heir takes over its slot (Algorithm 3.3
+        lines 3-5: "``hparent(h)`` replaces ``v`` by ``h`` in its will")
+        and when a leaf will moves a slot to the inheriting node.
+        """
+        if new in self._leaves:
+            raise DuplicateNodeError(new)
+        leaf = self._leaf(old)
+        del self._leaves[old]
+        leaf.stand_in = new
+        self._leaves[new] = leaf
+
+        had_internal = old in self._internal_by_sim
+        if had_internal:
+            node = self._internal_by_sim.pop(old)
+            node.sim = new
+            self._internal_by_sim[new] = node
+
+        was_heir = old == self._heir
+        if was_heir:
+            self._heir = new
+
+        touched = [new]
+        touched.extend(self._around(leaf))
+        if had_internal:
+            touched.extend(self._around(self._internal_by_sim[new]))
+        return ReplaceDelta(
+            was_heir=was_heir,
+            had_internal=had_internal,
+            touched=tuple(dict.fromkeys(t for t in touched if t in self._leaves)),
+        )
+
+    def set_heir(self, new_heir: int) -> Tuple[int, ...]:
+        """Move heir-ness to another free stand-in (generalized-b only).
+
+        Returns the touched stand-ins.  The new heir must not hold an
+        internal assignment; the old heir keeps its leaf position.
+        """
+        if new_heir not in self._leaves:
+            raise NodeNotFoundError(new_heir, "set_heir")
+        if new_heir in self._internal_by_sim:
+            raise InvariantViolationError("slot-tree-heir", "heir cannot hold an internal")
+        old = self._heir
+        self._heir = new_heir
+        touched = tuple(t for t in (old, new_heir) if t is not None)
+        return touched
+
+    def exclude_from_assignment(self, busy: Set[int]) -> Tuple[int, ...]:
+        """Re-assign internal positions away from ``busy`` stand-ins.
+
+        Used by the generalized (branching > 2) tree at deployment time:
+        stand-ins already simulating a helper elsewhere cannot take an
+        internal position, so their assignments move to free stand-ins.
+        If the heir is busy, heir-ness moves to a free stand-in as well.
+        Raises when there are not enough free stand-ins (cannot happen for
+        the paper's binary case, where ``busy`` is always empty).
+
+        Returns the stand-ins whose portions changed.
+        """
+        touched: List[int] = []
+
+        def free_pool() -> List[int]:
+            return [
+                s
+                for s in sorted(self._leaves)
+                if s != self._heir and s not in self._internal_by_sim and s not in busy
+            ]
+
+        if self._heir in busy:
+            pool = free_pool()
+            if not pool:
+                raise InvariantViolationError(
+                    "slot-tree-exclusion", "no free stand-in to take heir-ness"
+                )
+            touched.extend(self.set_heir(pool[0]))
+        for sim in [s for s in self.internal_sims if s in busy]:
+            pool = free_pool()
+            if not pool:
+                raise InvariantViolationError(
+                    "slot-tree-exclusion", "no free stand-in for internal position"
+                )
+            node = self._internal_by_sim.pop(sim)
+            node.sim = pool[0]
+            self._internal_by_sim[pool[0]] = node
+            touched.extend([sim, pool[0]])
+            touched.extend(self._around(node))
+        return tuple(dict.fromkeys(t for t in touched if t in self._leaves))
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Validate all slot-tree invariants; raise on violation."""
+        if self._root is None:
+            if self._leaves or self._internal_by_sim or self._heir is not None:
+                raise InvariantViolationError("slot-tree-empty", "stale entries")
+            return
+        seen_leaves: List[int] = []
+        _collect_leaves(self._root, seen_leaves)
+        if sorted(seen_leaves) != sorted(self._leaves):
+            raise InvariantViolationError("slot-tree-leaves", "leaf index mismatch")
+        if self._heir not in self._leaves:
+            raise InvariantViolationError("slot-tree-heir", f"heir {self._heir} not a leaf")
+        if self._heir in self._internal_by_sim:
+            raise InvariantViolationError("slot-tree-heir", "heir holds an internal position")
+        internals = _collect_internals(self._root)
+        if len(internals) != len(self._internal_by_sim):
+            raise InvariantViolationError("slot-tree-internals", "index mismatch")
+        for node in internals:
+            if not 2 <= len(node.children) <= self.branching:
+                raise InvariantViolationError(
+                    "slot-tree-arity",
+                    f"internal {node.sim} has {len(node.children)} children",
+                )
+            if node.sim not in self._leaves:
+                raise InvariantViolationError(
+                    "slot-tree-sim", f"internal sim {node.sim} is not a live stand-in"
+                )
+            if self._internal_by_sim.get(node.sim) is not node:
+                raise InvariantViolationError("slot-tree-sim-index", str(node.sim))
+            for child in node.children:
+                if child.parent is not node:
+                    raise InvariantViolationError("slot-tree-parent-link", str(node.sim))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _leaf(self, stand_in: int) -> _Leaf:
+        try:
+            return self._leaves[stand_in]
+        except KeyError:
+            raise NodeNotFoundError(stand_in, "slot tree leaf") from None
+
+    def _internal(self, stand_in: int) -> _Internal:
+        try:
+            return self._internal_by_sim[stand_in]
+        except KeyError:
+            raise NodeNotFoundError(stand_in, "slot tree internal") from None
+
+    def _splice(self, node: _Internal, only: _Pos) -> None:
+        """Replace one-child internal ``node`` by its single child."""
+        grand = node.parent
+        only.parent = grand
+        if grand is None:
+            self._root = only
+        else:
+            grand.children[grand.children.index(node)] = only
+
+    def _pick_free(self, freed: List[int]) -> int:
+        """Pick a free (unassigned, non-heir) stand-in for a vacant role.
+
+        For binary trees the freed simulator of the just-spliced internal is
+        the unique candidate, which reproduces the paper's re-keying rule;
+        for b > 2 we deterministically pick the smallest free stand-in.
+        """
+        if freed:
+            return freed[0]
+        pool = [
+            s
+            for s in sorted(self._leaves)
+            if s != self._heir and s not in self._internal_by_sim
+        ]
+        if not pool:
+            raise InvariantViolationError("slot-tree-pool", "no free stand-in")
+        return pool[0]
+
+    def _around(self, pos: _Pos) -> List[int]:
+        """Stand-ins whose portions reference ``pos`` (O(1) of them)."""
+        out: List[int] = []
+        if isinstance(pos, _Leaf):
+            out.append(pos.stand_in)
+            if pos.parent is not None:
+                out.append(pos.parent.sim)
+        else:
+            out.append(pos.sim)
+            if pos.parent is not None:
+                out.append(pos.parent.sim)
+            for child in pos.children:
+                out.append(child.stand_in if isinstance(child, _Leaf) else child.sim)
+        return out
+
+    def clone(self) -> "SlotTree":
+        """Deep copy preserving positions (not re-sorted)."""
+        other = SlotTree([], branching=self.branching)
+        other._heir = self._heir
+        if self._root is not None:
+            other._root = _clone(self._root, other, None)
+        return other
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SlotTree({self.as_shape()!r}, heir={self._heir})"
+
+
+# ----------------------------------------------------------------------
+# module helpers
+# ----------------------------------------------------------------------
+def _split_even(ids: Sequence[int], branching: int) -> List[Sequence[int]]:
+    """Split ``ids`` into at most ``branching`` contiguous near-even groups.
+
+    For b = 2 this is the classic ceil/floor split, so depth is
+    ``ceil(log2 d)`` — the balance Theorem 1.2 relies on.
+    """
+    n = len(ids)
+    k = min(branching, n)
+    groups: List[Sequence[int]] = []
+    start = 0
+    for i in range(k):
+        size = (n - start + (k - i - 1)) // (k - i)  # ceil of remaining / slots
+        groups.append(ids[start : start + size])
+        start += size
+    return [g for g in groups if g]
+
+
+def _collect_leaves(pos: _Pos, out: List[int]) -> None:
+    if isinstance(pos, _Leaf):
+        out.append(pos.stand_in)
+    else:
+        for child in pos.children:
+            _collect_leaves(child, out)
+
+
+def _collect_internals(pos: _Pos) -> List[_Internal]:
+    if isinstance(pos, _Leaf):
+        return []
+    out = [pos]
+    for child in pos.children:
+        out.extend(_collect_internals(child))
+    return out
+
+
+def _depth(pos: _Pos) -> int:
+    if isinstance(pos, _Leaf):
+        return 0
+    return 1 + max(_depth(c) for c in pos.children)
+
+
+def _ref(pos: _Pos) -> PosRef:
+    if isinstance(pos, _Leaf):
+        return ("leaf", pos.stand_in)
+    return ("internal", pos.sim)
+
+
+def _shape(pos: _Pos):
+    if isinstance(pos, _Leaf):
+        return pos.stand_in
+    return (pos.sim, *(_shape(c) for c in pos.children))
+
+
+def _clone(pos: _Pos, into: SlotTree, parent: Optional[_Internal]) -> _Pos:
+    if isinstance(pos, _Leaf):
+        leaf = _Leaf(pos.stand_in, parent)
+        into._leaves[pos.stand_in] = leaf
+        return leaf
+    node = _Internal(pos.sim, [])
+    node.parent = parent
+    into._internal_by_sim[pos.sim] = node
+    node.children = [_clone(c, into, node) for c in pos.children]
+    return node
+
+
+def iter_positions(tree: SlotTree) -> Iterator[PosRef]:
+    """Iterate all position references, preorder (exposed for tests)."""
+
+    def walk(pos: _Pos) -> Iterator[PosRef]:
+        yield _ref(pos)
+        if isinstance(pos, _Internal):
+            for child in pos.children:
+                yield from walk(child)
+
+    if tree._root is not None:
+        yield from walk(tree._root)

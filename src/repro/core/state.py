@@ -1,0 +1,63 @@
+"""Node states with respect to helper duties (Figure 3 of the paper).
+
+A node is **waiting** when it simulates no helper, **ready** when it
+simulates a one-child helper (an heir holding an unexecuted inheritance —
+``isreadyheir``), and **deployed** when it simulates a helper with two or
+more children (``ishelper`` with full duties).
+
+The paper's flags map onto these states as::
+
+    WAIT      ishelper = False   isreadyheir = False
+    READY     ishelper = True    isreadyheir = True
+    DEPLOYED  ishelper = True    isreadyheir = False
+
+Transitions (Figure 3): WAIT -> READY, WAIT -> DEPLOYED, READY -> DEPLOYED,
+READY -> READY (an heir re-inheriting another ready role), DEPLOYED ->
+DEPLOYED (leaf-will inheritance), and any state -> WAIT when a helper is
+short-circuited.  The test-suite checks that only these transitions occur.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class HelperState(enum.Enum):
+    """Wait / Ready / Deployed (Figure 3)."""
+
+    WAIT = "wait"
+    READY = "ready"
+    DEPLOYED = "deployed"
+
+
+#: Transitions allowed by the protocol (Figure 3, plus self-loops for
+#: role-preserving bookkeeping and the short-circuit back edges).
+ALLOWED_TRANSITIONS = frozenset(
+    {
+        (HelperState.WAIT, HelperState.WAIT),
+        (HelperState.WAIT, HelperState.READY),
+        (HelperState.WAIT, HelperState.DEPLOYED),
+        (HelperState.READY, HelperState.READY),
+        (HelperState.READY, HelperState.DEPLOYED),
+        (HelperState.READY, HelperState.WAIT),
+        (HelperState.DEPLOYED, HelperState.DEPLOYED),
+        (HelperState.DEPLOYED, HelperState.WAIT),
+        (HelperState.DEPLOYED, HelperState.READY),
+    }
+)
+
+
+@dataclass(frozen=True)
+class NodeState:
+    """Snapshot of one node's Table-1 flags and helper links."""
+
+    nid: int
+    state: HelperState
+    is_helper: bool
+    is_ready_heir: bool
+    helper_children: int
+
+    @property
+    def flags(self) -> str:
+        return f"ishelper={self.is_helper} isreadyheir={self.is_ready_heir}"

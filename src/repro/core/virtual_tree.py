@@ -1,0 +1,426 @@
+"""The virtual tree: real nodes, helper nodes, and the image homomorphism.
+
+The paper describes the healed network as "the homomorphic image of the tree
+... under a graph homomorphism which fixes the actual nodes in the tree and
+maps each virtual node to a distinct actual node which is simulating it"
+(Section 3).  This module makes that object explicit:
+
+* :class:`VTReal` — a live real node (a processor).
+* :class:`VTHelper` — a helper ("virtual") node, simulated by exactly one
+  live real node; each real node simulates at most one helper (this is what
+  bounds the degree increase by 3: one ``hparent`` edge plus at most two
+  ``hchildren`` edges).
+* :class:`VirtualTree` — the rooted tree over those nodes, together with an
+  *incrementally maintained* image graph: every virtual-tree edge ``(A, B)``
+  contributes the edge ``(owner(A), owner(B))`` to the real network unless
+  the owners coincide (self-loops vanish — that is the paper's
+  "if ``hy`` is ``ly``'s parent" rule in Algorithm 3.6).
+
+The healing engine (:mod:`repro.core.forgiving_tree`) performs all of the
+paper's operations — RT deployment, ``bypass``, short-circuiting, heir and
+leaf-will inheritance — as small structured mutations on this tree, and the
+image graph falls out automatically.  Keeping the pre-image explicit is what
+lets the test-suite check the paper's invariants directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from .errors import (
+    DuplicateNodeError,
+    InvariantViolationError,
+    NodeNotFoundError,
+)
+from .events import EdgeAdded, EdgeRemoved, edge_key
+
+
+class VTNode:
+    """Base class for virtual-tree nodes (do not instantiate directly)."""
+
+    __slots__ = ("parent", "children")
+
+    def __init__(self) -> None:
+        self.parent: Optional[VTNode] = None
+        self.children: List[VTNode] = []
+
+    @property
+    def is_real(self) -> bool:
+        return isinstance(self, VTReal)
+
+    @property
+    def is_helper(self) -> bool:
+        return isinstance(self, VTHelper)
+
+
+class VTReal(VTNode):
+    """A live real node."""
+
+    __slots__ = ("nid",)
+
+    def __init__(self, nid: int) -> None:
+        super().__init__()
+        self.nid = nid
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"R({self.nid})"
+
+
+class VTHelper(VTNode):
+    """A helper (virtual) node, simulated by real node ``sim``."""
+
+    __slots__ = ("hid", "sim")
+
+    def __init__(self, hid: int, sim: int) -> None:
+        super().__init__()
+        self.hid = hid
+        self.sim = sim
+
+    @property
+    def is_ready_heir(self) -> bool:
+        """A one-child helper is an heir "in ready state" (Figure 3)."""
+        return len(self.children) == 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"H{self.hid}(sim={self.sim}, n={len(self.children)})"
+
+
+def owner_of(node: VTNode) -> int:
+    """The real node that answers for ``node`` in the image graph."""
+    if isinstance(node, VTReal):
+        return node.nid
+    assert isinstance(node, VTHelper)
+    return node.sim
+
+
+class VirtualTree:
+    """Rooted tree of real and helper nodes with an incremental image graph.
+
+    Parameters
+    ----------
+    recorder:
+        Optional callback receiving :class:`EdgeAdded` / :class:`EdgeRemoved`
+        events as image edges appear and disappear (used by the engine to
+        build :class:`~repro.core.events.HealReport`).
+    """
+
+    def __init__(self, recorder: Optional[Callable[[object], None]] = None):
+        self._reals: Dict[int, VTReal] = {}
+        self._helpers: Dict[int, VTHelper] = {}
+        self._role: Dict[int, VTHelper] = {}  # real id -> the helper it simulates
+        self._root: Optional[VTNode] = None
+        self._image: Counter = Counter()  # canonical edge -> multiplicity
+        self._hid_counter = 0
+        self.recorder = recorder
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Optional[VTNode]:
+        return self._root
+
+    @property
+    def alive(self) -> Set[int]:
+        """Ids of live real nodes."""
+        return set(self._reals)
+
+    def __len__(self) -> int:
+        return len(self._reals)
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._reals
+
+    def real(self, nid: int) -> VTReal:
+        try:
+            return self._reals[nid]
+        except KeyError:
+            raise NodeNotFoundError(nid, "virtual tree") from None
+
+    def role_of(self, nid: int) -> Optional[VTHelper]:
+        """The helper ``nid`` currently simulates, if any (``ishelper``)."""
+        return self._role.get(nid)
+
+    def helpers(self) -> List[VTHelper]:
+        return list(self._helpers.values())
+
+    def owner(self, node: VTNode) -> int:
+        return owner_of(node)
+
+    # ------------------------------------------------------------------
+    # image graph
+    # ------------------------------------------------------------------
+    def image_adjacency(self) -> Dict[int, Set[int]]:
+        """Adjacency of the image (healed real network), tree edges only."""
+        adj: Dict[int, Set[int]] = {nid: set() for nid in self._reals}
+        for (u, v) in self._image:
+            adj[u].add(v)
+            adj[v].add(u)
+        return adj
+
+    def image_edges(self) -> Set[Tuple[int, int]]:
+        return set(self._image)
+
+    def image_degree(self, nid: int) -> int:
+        if nid not in self._reals:
+            raise NodeNotFoundError(nid, "image degree")
+        return sum(1 for e in self._image if nid in e)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_real(self, nid: int) -> VTReal:
+        """Register a new detached real node."""
+        if nid in self._reals:
+            raise DuplicateNodeError(nid)
+        node = VTReal(nid)
+        self._reals[nid] = node
+        return node
+
+    def new_helper(self, sim: int) -> VTHelper:
+        """Create a fresh detached helper simulated by ``sim``."""
+        if sim not in self._reals:
+            raise NodeNotFoundError(sim, "helper simulator")
+        if sim in self._role:
+            raise InvariantViolationError(
+                "one-role-per-node", f"{sim} already simulates {self._role[sim]!r}"
+            )
+        self._hid_counter += 1
+        helper = VTHelper(self._hid_counter, sim)
+        self._helpers[helper.hid] = helper
+        self._role[sim] = helper
+        return helper
+
+    def set_root(self, node: Optional[VTNode]) -> None:
+        if node is not None and node.parent is not None:
+            raise InvariantViolationError("root", "root must have no parent")
+        self._root = node
+
+    # ------------------------------------------------------------------
+    # structural mutations (image bookkeeping is automatic)
+    # ------------------------------------------------------------------
+    def attach(self, child: VTNode, parent: VTNode, index: Optional[int] = None) -> None:
+        """Attach a detached subtree under ``parent``."""
+        if child.parent is not None:
+            raise InvariantViolationError("attach", "child already attached")
+        if index is None:
+            parent.children.append(child)
+        else:
+            parent.children.insert(index, child)
+        child.parent = parent
+        self._image_add(child, parent)
+
+    def detach(self, child: VTNode) -> Optional[VTNode]:
+        """Detach ``child`` from its parent; returns the old parent."""
+        parent = child.parent
+        if parent is None:
+            return None
+        parent.children.remove(child)
+        child.parent = None
+        self._image_remove(child, parent)
+        return parent
+
+    def replace_child(self, parent: VTNode, old: VTNode, new: VTNode) -> None:
+        """Substitute ``old`` by detached ``new`` at the same position."""
+        if new.parent is not None:
+            raise InvariantViolationError("replace_child", "replacement already attached")
+        idx = parent.children.index(old)
+        parent.children[idx] = new
+        old.parent = None
+        new.parent = parent
+        self._image_remove(old, parent)
+        self._image_add(new, parent)
+
+    def splice(self, helper: VTHelper) -> Optional[VTNode]:
+        """Remove a one-child helper, connecting its child to its parent.
+
+        This is the paper's ``bypass`` operation / the "short-circuit" of a
+        redundant virtual node whose degree dropped from 3 to 2.  Returns
+        the child that moved up.  The helper is destroyed.
+        """
+        if len(helper.children) != 1:
+            raise InvariantViolationError(
+                "bypass-precondition", f"helper has {len(helper.children)} children"
+            )
+        child = helper.children[0]
+        parent = helper.parent
+        self.detach(child)
+        if parent is not None:
+            idx = parent.children.index(helper)
+            self.detach(helper)
+            self.attach(child, parent, index=idx)
+        else:
+            if self._root is helper:
+                self._root = child
+        self.destroy_helper(helper)
+        return child
+
+    def transfer_role(self, helper: VTHelper, new_sim: int) -> int:
+        """Change the simulator of ``helper`` (heir / leaf-will inheritance).
+
+        Returns the previous simulator id.  The image edges incident to the
+        helper are re-registered under the new owner.
+        """
+        if new_sim not in self._reals:
+            raise NodeNotFoundError(new_sim, "transfer_role")
+        if new_sim in self._role:
+            raise InvariantViolationError(
+                "one-role-per-node", f"{new_sim} already simulates a helper"
+            )
+        old_sim = helper.sim
+        incident: List[VTNode] = list(helper.children)
+        if helper.parent is not None:
+            incident.append(helper.parent)
+        for other in incident:
+            self._image_remove(helper, other)
+        if old_sim in self._role and self._role[old_sim] is helper:
+            del self._role[old_sim]
+        helper.sim = new_sim
+        self._role[new_sim] = helper
+        for other in incident:
+            self._image_add(helper, other)
+        return old_sim
+
+    def destroy_helper(self, helper: VTHelper) -> None:
+        """Remove a detached, childless helper from the structure."""
+        if helper.children or helper.parent is not None:
+            raise InvariantViolationError("destroy-helper", "still attached")
+        sim = helper.sim
+        if sim in self._role and self._role[sim] is helper:
+            del self._role[sim]
+        if self._root is helper:
+            self._root = None
+        del self._helpers[helper.hid]
+
+    def remove_real(self, real: VTReal) -> None:
+        """Remove a detached, childless, role-free real node."""
+        if real.children or real.parent is not None:
+            raise InvariantViolationError("remove-real", "still attached")
+        if real.nid in self._role:
+            raise InvariantViolationError("remove-real", "still simulating a helper")
+        if self._root is real:
+            self._root = None
+        del self._reals[real.nid]
+
+    # ------------------------------------------------------------------
+    # image bookkeeping
+    # ------------------------------------------------------------------
+    def _image_add(self, a: VTNode, b: VTNode) -> None:
+        u, v = owner_of(a), owner_of(b)
+        if u == v:
+            return
+        key = edge_key(u, v)
+        self._image[key] += 1
+        if self._image[key] == 1 and self.recorder is not None:
+            self.recorder(EdgeAdded(*key))
+
+    def _image_remove(self, a: VTNode, b: VTNode) -> None:
+        u, v = owner_of(a), owner_of(b)
+        if u == v:
+            return
+        key = edge_key(u, v)
+        count = self._image.get(key, 0)
+        if count <= 0:
+            raise InvariantViolationError("image-refcount", f"edge {key} not present")
+        if count == 1:
+            del self._image[key]
+            if self.recorder is not None:
+                self.recorder(EdgeRemoved(*key))
+        else:
+            self._image[key] = count - 1
+
+    # ------------------------------------------------------------------
+    # validation / inspection
+    # ------------------------------------------------------------------
+    def iter_nodes(self) -> Iterator[VTNode]:
+        """Preorder traversal from the root."""
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def check(self, branching: int = 2) -> None:
+        """Validate every virtual-tree invariant; raise on violation."""
+        if self._root is None:
+            if self._reals or self._helpers:
+                raise InvariantViolationError("vt-empty", "nodes exist but no root")
+            return
+        if self._root.parent is not None:
+            raise InvariantViolationError("vt-root", "root has a parent")
+        seen_real: Set[int] = set()
+        seen_help: Set[int] = set()
+        for node in self.iter_nodes():
+            for child in node.children:
+                if child.parent is not node:
+                    raise InvariantViolationError("vt-parent-link", repr(node))
+            if isinstance(node, VTReal):
+                if node.nid in seen_real:
+                    raise InvariantViolationError("vt-dup", f"real {node.nid}")
+                seen_real.add(node.nid)
+            else:
+                assert isinstance(node, VTHelper)
+                if node.hid in seen_help:
+                    raise InvariantViolationError("vt-dup", f"helper {node.hid}")
+                seen_help.add(node.hid)
+                if node.sim not in self._reals:
+                    raise InvariantViolationError(
+                        "vt-sim-alive", f"helper {node.hid} simulated by dead {node.sim}"
+                    )
+                if self._role.get(node.sim) is not node:
+                    raise InvariantViolationError(
+                        "vt-role-map", f"role map disagrees for sim {node.sim}"
+                    )
+                if not 1 <= len(node.children) <= branching:
+                    raise InvariantViolationError(
+                        "vt-helper-arity",
+                        f"helper {node.hid} has {len(node.children)} children",
+                    )
+        if seen_real != set(self._reals):
+            raise InvariantViolationError(
+                "vt-reachability", f"unreachable reals: {set(self._reals) - seen_real}"
+            )
+        if seen_help != set(self._helpers):
+            raise InvariantViolationError(
+                "vt-reachability", f"unreachable helpers: {set(self._helpers) - seen_help}"
+            )
+        # image counter must match a from-scratch recomputation
+        recomputed: Counter = Counter()
+        for node in self.iter_nodes():
+            for child in node.children:
+                u, v = owner_of(node), owner_of(child)
+                if u != v:
+                    recomputed[edge_key(u, v)] += 1
+        if recomputed != self._image:
+            raise InvariantViolationError("image-counter", "incremental image diverged")
+
+    def render(self) -> str:
+        """ASCII rendering of the virtual tree (for examples and debugging).
+
+        Real nodes render as their id; helpers as ``[sim]`` (deployed) or
+        ``<sim>`` (ready heirs), mirroring Figure 1's circles vs rectangle.
+        """
+        lines: List[str] = []
+
+        def walk(node: VTNode, prefix: str, last: bool) -> None:
+            if isinstance(node, VTReal):
+                label = str(node.nid)
+            else:
+                assert isinstance(node, VTHelper)
+                label = f"<{node.sim}>" if node.is_ready_heir else f"[{node.sim}]"
+            connector = "" if not prefix else ("`- " if last else "|- ")
+            lines.append(prefix + connector + label)
+            child_prefix = prefix + ("   " if last or not prefix else "|  ")
+            for i, child in enumerate(node.children):
+                walk(child, child_prefix, i == len(node.children) - 1)
+
+        if self._root is None:
+            return "(empty)"
+        walk(self._root, "", True)
+        return "\n".join(lines)
+
+
+NodeKind = Union[VTReal, VTHelper]

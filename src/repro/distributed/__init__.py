@@ -1,0 +1,22 @@
+"""Distributed runtime: the message-level Forgiving Tree and setup phase."""
+
+from .messages import Deleted, LeafWillMsg, Message, ReplaceChild, SimChange, WillPortionMsg
+from .network import Network, RoundStats
+from .node import LeafWill, Portion, ProtocolNode, Role
+from .protocol import DistributedForgivingTree
+
+__all__ = [
+    "Deleted",
+    "DistributedForgivingTree",
+    "LeafWill",
+    "LeafWillMsg",
+    "Message",
+    "Network",
+    "Portion",
+    "ProtocolNode",
+    "ReplaceChild",
+    "Role",
+    "RoundStats",
+    "SimChange",
+    "WillPortionMsg",
+]

@@ -1,0 +1,143 @@
+"""Message types of the distributed Forgiving Tree protocol.
+
+Every message carries O(1) node ids, matching Theorem 1.3's "each message
+contains O(1) bits and node IDs".  ``bits()`` gives the accounting size
+used by the network counters (ids are charged ``ceil(log2 n)`` bits by the
+network, constants one bit each).
+
+References to positions are ``Ref = (sim, kind)`` pairs: ``kind`` says
+whether the endpoint is the real node itself (``"real"``) or the helper
+node it simulates (``"helper"``) — the paper's ``ly`` vs ``hy`` distinction
+from Algorithm 3.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+Ref = Tuple[int, str]  # (node id, "real" | "helper")
+
+REAL = "real"
+HELPER = "helper"
+
+
+def ref_ids(ref: Optional[Ref]) -> int:
+    return 0 if ref is None else 1
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base message; ``sender`` is filled by the network on send."""
+
+    sender: int
+    recipient: int
+
+    def id_count(self) -> int:
+        """Node ids carried (for bit accounting)."""
+        return 2
+
+
+@dataclass(frozen=True)
+class Deleted(Message):
+    """Failure notification: ``victim`` has been deleted (from the
+    detector; the model says neighbors become aware of the deletion)."""
+
+    victim: int
+
+    def id_count(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class WillPortionMsg(Message):
+    """A will owner (re)transmits one child's reconstruction fields."""
+
+    portion: "object"  # distributed.node.Portion
+
+    def id_count(self) -> int:
+        return 8  # bounded: next_parent/hparent + 2 hchildren + tops
+
+
+@dataclass(frozen=True)
+class LeafWillMsg(Message):
+    """A leaf deposits its leaf will (possibly empty) with its parent
+    holder (Algorithm 3.7); doubles as the "I am a leaf" flag."""
+
+    hparent: Optional[Ref]
+    hchildren: Tuple[Ref, ...]
+
+    def id_count(self) -> int:
+        return 2 + ref_ids(self.hparent) + len(self.hchildren)
+
+
+@dataclass(frozen=True)
+class ReplaceChild(Message):
+    """'I answer for the slot formerly stood by ``old``' — sent by a ready
+    heir (or inheritor) to the dead node's parent-position holder
+    (Algorithm 3.3 lines 3-6)."""
+
+    old: int
+    new_ref: Ref
+
+    def id_count(self) -> int:
+        return 4
+
+
+@dataclass(frozen=True)
+class SimChange(Message):
+    """'The helper adjacent to you formerly simulated by ``old`` is now
+    simulated by me' — heir inheritance / leaf-will takeover."""
+
+    old: int
+    new: int
+    relation: str  # "your-hparent" | "your-hchild" | "your-parent"
+
+    def id_count(self) -> int:
+        return 4
+
+
+@dataclass(frozen=True)
+class AnchorIs(Message):
+    """Bypass brokerage: 'the occupant of my leaf slot is ``anchor``'
+    (sent by a bypassed ready heir to the new RT neighbor)."""
+
+    slot_standin: int
+    anchor: Ref
+
+    def id_count(self) -> int:
+        return 4
+
+
+@dataclass(frozen=True)
+class ReparentTo(Message):
+    """Bypass brokerage: 'your parent-side endpoint is now ``target``'."""
+
+    target: Ref
+    # which of the recipient's upward links to rewrite:
+    relation: str  # "real-parent" | "hparent"
+
+    def id_count(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class ChildHello(Message):
+    """Edge establishment: 'my ``kind`` endpoint now attaches below your
+    ``target_kind`` endpoint'."""
+
+    child_ref: Ref
+    target_kind: str  # "real" | "helper"
+
+    def id_count(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class RemoveHChild(Message):
+    """'My helper vanished; drop it from your children' (cascade step)."""
+
+    gone: Ref
+
+    def id_count(self) -> int:
+        return 3

@@ -1,0 +1,141 @@
+"""Synchronous message-passing network simulator.
+
+The model (Section 2): after each deletion, the neighbors of the deleted
+vertex are informed; nodes then communicate asynchronously in parallel with
+immediate neighbors (messages may carry names of other vertices, and a node
+may then insert edges joining it to those named nodes).  We simulate this
+with *sub-rounds*: all messages sent in sub-round t are delivered at
+sub-round t+1.  The recovery latency of a heal round is its number of
+sub-rounds, which Theorem 1.3 bounds by O(1).
+
+The network counts, per heal round and per node, messages sent, messages
+received, and id-bits carried — the quantities of success metrics 3 and 4
+of Model 2.1.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from ..core.errors import ProtocolError
+from .messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import ProtocolNode
+
+
+@dataclass
+class RoundStats:
+    """Communication accounting for one heal round."""
+
+    round: int
+    sub_rounds: int = 0
+    sent: Dict[int, int] = field(default_factory=dict)
+    received: Dict[int, int] = field(default_factory=dict)
+    bits: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.sent.values())
+
+    @property
+    def max_sent_per_node(self) -> int:
+        return max(self.sent.values(), default=0)
+
+    @property
+    def max_received_per_node(self) -> int:
+        return max(self.received.values(), default=0)
+
+
+class Network:
+    """Routes messages between protocol nodes in synchronous sub-rounds."""
+
+    def __init__(self, max_sub_rounds: int = 64):
+        self.nodes: Dict[int, "ProtocolNode"] = {}
+        self._outbox: deque = deque()
+        self.max_sub_rounds = max_sub_rounds
+        self.stats_history: List[RoundStats] = []
+        self._current: Optional[RoundStats] = None
+        self._id_bits = 1
+
+    # -- membership -------------------------------------------------------
+    def register(self, node: "ProtocolNode") -> None:
+        self.nodes[node.nid] = node
+        node.network = self
+        self._id_bits = max(1, math.ceil(math.log2(max(len(self.nodes), 2))))
+
+    def remove(self, nid: int) -> "ProtocolNode":
+        return self.nodes.pop(nid)
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- messaging --------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Queue a message for the next sub-round."""
+        if self._current is not None:
+            self._current.sent[message.sender] = (
+                self._current.sent.get(message.sender, 0) + 1
+            )
+            self._current.bits += message.id_count() * self._id_bits + 8
+        self._outbox.append(message)
+
+    def run_round(self, round_no: int) -> RoundStats:
+        """Deliver queued messages until quiescence; return the stats."""
+        stats = self._current or RoundStats(round=round_no)
+        stats.round = round_no
+        self._current = stats
+        while self._outbox:
+            stats.sub_rounds += 1
+            if stats.sub_rounds > self.max_sub_rounds:
+                raise ProtocolError(
+                    f"round {round_no}: no quiescence after "
+                    f"{self.max_sub_rounds} sub-rounds"
+                )
+            batch = list(self._outbox)
+            self._outbox.clear()
+            for message in batch:
+                node = self.nodes.get(message.recipient)
+                if node is None:
+                    continue  # recipient died this round; message dropped
+                stats.received[message.recipient] = (
+                    stats.received.get(message.recipient, 0) + 1
+                )
+                node.handle(message)
+        self._current = None
+        self.stats_history.append(stats)
+        return stats
+
+    def begin_round(self, round_no: int) -> None:
+        """Open an accounting window before injecting notifications."""
+        self._current = RoundStats(round=round_no)
+
+    # -- derived global views (used by tests and validation only) ---------
+    def image_edges(self) -> set:
+        """Edge set derived from both endpoints' local state.
+
+        Strict symmetry: an edge counts only if *both* sides claim it; an
+        edge claimed by a single side raises, catching protocol bugs.
+        """
+        claims: Dict[tuple, set] = defaultdict(set)
+        for nid, node in self.nodes.items():
+            for other in node.neighbor_claims():
+                if other == nid:
+                    continue
+                key = (min(nid, other), max(nid, other))
+                claims[key].add(nid)
+        edges = set()
+        for key, claimants in claims.items():
+            if len(claimants) != 2:
+                one = next(iter(claimants))
+                raise ProtocolError(
+                    f"asymmetric edge {key}: only {one} claims it"
+                )
+            edges.add(key)
+        return edges

@@ -1,0 +1,155 @@
+"""Driver for the distributed Forgiving Tree (binary protocol).
+
+Builds the per-node states from an initial tree, distributes the initial
+wills and leaf wills as real messages (the O(1)-per-tree-edge setup cost),
+and then heals deletions round by round, returning the network's
+communication statistics.  All healing decisions are made inside
+:class:`~repro.distributed.node.ProtocolNode` handlers from local state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.errors import NodeNotFoundError, ProtocolError, SimulationOverError
+from ..core.forgiving_tree import _as_adjacency, _check_is_tree
+from ..core.slot_tree import SlotTree
+from .messages import REAL, Deleted
+from .network import Network, RoundStats
+from .node import ProtocolNode
+
+
+class DistributedForgivingTree:
+    """Message-passing Forgiving Tree over an initial tree (binary case).
+
+    The public surface mirrors the sequential engine where it matters for
+    validation: ``alive``, ``delete``, ``edges``/``adjacency``,
+    ``degree`` / ``max_degree_increase`` — plus the per-round
+    :class:`~repro.distributed.network.RoundStats` (Theorem 1.3 metrics).
+    """
+
+    def __init__(self, tree, root: Optional[int] = None):
+        adjacency = _as_adjacency(tree)
+        _check_is_tree(adjacency)
+        self.root_id = min(adjacency) if root is None else root
+        if self.root_id not in adjacency:
+            raise NodeNotFoundError(self.root_id, "root")
+        self.network = Network()
+        self.original_degree: Dict[int, int] = {
+            n: len(neigh) for n, neigh in adjacency.items()
+        }
+        self.rounds = 0
+        self._build(adjacency)
+
+    # ------------------------------------------------------------------
+    def _build(self, adjacency: Mapping[int, Sequence[int]]) -> None:
+        parent: Dict[int, Optional[int]] = {self.root_id: None}
+        order: List[int] = [self.root_id]
+        queue = deque([self.root_id])
+        seen = {self.root_id}
+        while queue:
+            cur = queue.popleft()
+            for nxt in sorted(adjacency[cur]):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    parent[nxt] = cur
+                    order.append(nxt)
+                    queue.append(nxt)
+        children: Dict[int, List[int]] = {n: [] for n in adjacency}
+        for n, p in parent.items():
+            if p is not None:
+                children[p].append(n)
+
+        for nid in adjacency:
+            node = ProtocolNode(nid)
+            self.network.register(node)
+        for nid in adjacency:
+            node = self.network.nodes[nid]
+            p = parent[nid]
+            node.parent_ref = None if p is None else (p, REAL)
+            kids = sorted(children[nid])
+            node.will = SlotTree(kids, branching=2)
+            node.slot_kind = {k: REAL for k in kids}
+
+        # Setup phase: wills and leaf wills travel as counted messages.
+        self.network.begin_round(0)
+        for nid in adjacency:
+            node = self.network.nodes[nid]
+            node.refresh_portions()
+            node._maybe_deposit_leaf_will()
+        self.setup_stats = self.network.run_round(0)
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> Set[int]:
+        return set(self.network.nodes)
+
+    def __len__(self) -> int:
+        return len(self.network)
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self.network
+
+    def delete(self, nid: int) -> RoundStats:
+        """Adversary deletes ``nid``; neighbors detect and heal."""
+        if not self.network.nodes:
+            raise SimulationOverError("all nodes already deleted")
+        if nid not in self.network:
+            raise NodeNotFoundError(nid, "delete")
+        self.rounds += 1
+        victim = self.network.remove(nid)
+        self.network.begin_round(self.rounds)
+        for neighbor in sorted(victim.neighbor_claims()):
+            self.network.send(
+                Deleted(sender=nid, recipient=neighbor, victim=nid)
+            )
+        stats = self.network.run_round(self.rounds)
+        self._check_quiescent()
+        return stats
+
+    def _check_quiescent(self) -> None:
+        for nid, node in self.network.nodes.items():
+            if node.pending:
+                raise ProtocolError(
+                    f"node {nid} still awaiting {sorted(node.pending)}"
+                )
+
+    # ------------------------------------------------------------------
+    def edges(self) -> Set[Tuple[int, int]]:
+        """Current overlay from both endpoints' local state (validated)."""
+        return self.network.image_edges()
+
+    def adjacency(self) -> Dict[int, Set[int]]:
+        adj: Dict[int, Set[int]] = {n: set() for n in self.network.nodes}
+        for u, v in self.edges():
+            adj[u].add(v)
+            adj[v].add(u)
+        return adj
+
+    def degree(self, nid: int) -> int:
+        return len(self.adjacency()[nid])
+
+    def max_degree_increase(self) -> int:
+        adj = self.adjacency()
+        if not adj:
+            return 0
+        return max(len(s) - self.original_degree[n] for n, s in adj.items())
+
+    # -- Theorem 1.3 metrics ----------------------------------------------
+    def last_stats(self) -> RoundStats:
+        return self.network.stats_history[-1]
+
+    def peak_messages_per_node(self) -> int:
+        return max(
+            (
+                max(s.max_sent_per_node, s.max_received_per_node)
+                for s in self.network.stats_history[1:]  # skip setup
+            ),
+            default=0,
+        )
+
+    def peak_latency(self) -> int:
+        return max(
+            (s.sub_rounds for s in self.network.stats_history[1:]), default=0
+        )

@@ -1,0 +1,10 @@
+"""Extensions beyond the paper's core construction."""
+
+from .alpha_tree import AlphaForgivingTree, alpha_for_branching, branching_for_alpha, tradeoff_point
+
+__all__ = [
+    "AlphaForgivingTree",
+    "alpha_for_branching",
+    "branching_for_alpha",
+    "tradeoff_point",
+]

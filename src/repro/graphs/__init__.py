@@ -1,0 +1,6 @@
+"""Graph substrates: plain-dict graphs, generators, metrics, spanning trees."""
+
+from . import adjacency, generators, metrics, spanning
+from .adjacency import Graph
+
+__all__ = ["Graph", "adjacency", "generators", "metrics", "spanning"]

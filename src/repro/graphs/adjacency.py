@@ -1,0 +1,146 @@
+"""Plain-dict graph representation and basic operations.
+
+The whole library speaks ``Dict[int, Set[int]]`` adjacency (undirected,
+simple).  This keeps the hot paths dependency-free; conversion helpers to
+and from ``networkx`` are provided for interoperability and for
+verification in tests (networkx acts as an independent oracle).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Mapping, Set, Tuple
+
+from ..core.errors import DisconnectedGraphError, NodeNotFoundError
+
+Graph = Dict[int, Set[int]]
+
+
+def empty() -> Graph:
+    return {}
+
+
+def from_edges(edges: Iterable[Tuple[int, int]], nodes: Iterable[int] = ()) -> Graph:
+    """Build a graph from an edge list (plus optional isolated nodes)."""
+    graph: Graph = {int(n): set() for n in nodes}
+    for u, v in edges:
+        u, v = int(u), int(v)
+        if u == v:
+            continue
+        graph.setdefault(u, set()).add(v)
+        graph.setdefault(v, set()).add(u)
+    return graph
+
+
+def from_adjacency(adjacency: Mapping[int, Iterable[int]]) -> Graph:
+    """Copy/normalize an adjacency mapping into a symmetric Graph."""
+    graph: Graph = {int(n): set() for n in adjacency}
+    for n, neighbors in adjacency.items():
+        for m in neighbors:
+            graph.setdefault(int(n), set()).add(int(m))
+            graph.setdefault(int(m), set()).add(int(n))
+    return graph
+
+
+def copy(graph: Graph) -> Graph:
+    return {n: set(s) for n, s in graph.items()}
+
+
+def edges(graph: Graph) -> Set[Tuple[int, int]]:
+    """Canonical (sorted-pair) edge set."""
+    return {(u, v) if u < v else (v, u) for u, s in graph.items() for v in s}
+
+
+def edge_count(graph: Graph) -> int:
+    return sum(len(s) for s in graph.values()) // 2
+
+
+def add_edge(graph: Graph, u: int, v: int) -> None:
+    if u == v:
+        return
+    graph.setdefault(u, set()).add(v)
+    graph.setdefault(v, set()).add(u)
+
+
+def remove_node(graph: Graph, nid: int) -> Set[int]:
+    """Delete a node; return its former neighborhood."""
+    if nid not in graph:
+        raise NodeNotFoundError(nid, "remove_node")
+    neighbors = graph.pop(nid)
+    for m in neighbors:
+        graph[m].discard(nid)
+    return neighbors
+
+
+def degrees(graph: Graph) -> Dict[int, int]:
+    return {n: len(s) for n, s in graph.items()}
+
+
+def max_degree(graph: Graph) -> int:
+    return max((len(s) for s in graph.values()), default=0)
+
+
+def bfs_distances(graph: Graph, source: int) -> Dict[int, int]:
+    """Hop distances from ``source`` to every reachable node."""
+    if source not in graph:
+        raise NodeNotFoundError(source, "bfs")
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        cur = queue.popleft()
+        for nxt in graph[cur]:
+            if nxt not in dist:
+                dist[nxt] = dist[cur] + 1
+                queue.append(nxt)
+    return dist
+
+
+def is_connected(graph: Graph) -> bool:
+    if not graph:
+        return True
+    start = next(iter(graph))
+    return len(bfs_distances(graph, start)) == len(graph)
+
+
+def connected_components(graph: Graph) -> List[Set[int]]:
+    remaining = set(graph)
+    out: List[Set[int]] = []
+    while remaining:
+        start = next(iter(remaining))
+        comp = set(bfs_distances(graph, start))
+        comp &= remaining
+        # bfs walks the full graph; restrict to remaining for safety
+        out.append(comp)
+        remaining -= comp
+    return out
+
+
+def require_connected(graph: Graph) -> None:
+    if not is_connected(graph):
+        raise DisconnectedGraphError("graph is not connected")
+
+
+def to_networkx(graph: Graph):
+    """Convert to ``networkx.Graph`` (lazy import)."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(graph)
+    g.add_edges_from(edges(graph))
+    return g
+
+
+def from_networkx(g) -> Graph:
+    """Convert from ``networkx.Graph``."""
+    return from_edges(((int(u), int(v)) for u, v in g.edges), nodes=(int(n) for n in g.nodes))
+
+
+def relabel_consecutive(graph: Graph) -> Tuple[Graph, Dict[int, int]]:
+    """Relabel nodes to 0..n-1 (sorted); returns (graph, old->new map)."""
+    mapping = {old: new for new, old in enumerate(sorted(graph))}
+    out: Graph = {mapping[n]: {mapping[m] for m in s} for n, s in graph.items()}
+    return out, mapping
+
+
+def iter_nodes_sorted(graph: Graph) -> Iterator[int]:
+    return iter(sorted(graph))

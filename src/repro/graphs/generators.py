@@ -1,0 +1,272 @@
+"""Graph and tree generators for experiments.
+
+Families used across the paper's claims:
+
+* **star** — the Theorem 2 lower-bound instance and the surrogate-killer's
+  favorite victim (one deletion exposes Θ(n) naive degree growth).
+* **path / caterpillar / broom / spider** — adversarial shapes for the
+  diameter claims about line and binary-tree healing.
+* **balanced trees / random trees** — generic overlays.
+* **connected G(n, p) / preferential attachment / grid / hypercube** — the
+  "many peer-to-peer systems have polylog ∆" setting of the introduction,
+  inputs for the setup phase and the general-graph healer.
+
+Every generator is deterministic given its ``seed`` and returns the plain
+adjacency representation (:data:`repro.graphs.adjacency.Graph`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Set
+
+from ..core.errors import ReproError
+from .adjacency import Graph, add_edge, from_edges, is_connected
+
+
+def star(n_leaves: int, center: int = 0) -> Graph:
+    """A star: ``center`` joined to ``n_leaves`` leaves (ids follow center)."""
+    if n_leaves < 1:
+        raise ValueError("star needs at least one leaf")
+    return from_edges((center, center + i + 1) for i in range(n_leaves))
+
+
+def path(n: int) -> Graph:
+    """A path 0-1-...-(n-1)."""
+    if n < 1:
+        raise ValueError("path needs at least one node")
+    if n == 1:
+        return {0: set()}
+    return from_edges((i, i + 1) for i in range(n - 1))
+
+
+def cycle(n: int) -> Graph:
+    """A cycle on n >= 3 nodes (general-graph experiments only)."""
+    if n < 3:
+        raise ValueError("cycle needs at least three nodes")
+    g = path(n)
+    add_edge(g, 0, n - 1)
+    return g
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """Complete ``branching``-ary tree of the given height (root id 0)."""
+    if branching < 1 or height < 0:
+        raise ValueError("invalid balanced tree parameters")
+    edges = []
+    frontier = [0]
+    next_id = 1
+    for _ in range(height):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                edges.append((parent, next_id))
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    if not edges:
+        return {0: set()}
+    return from_edges(edges)
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """Uniform random labelled tree via a random Prüfer sequence."""
+    if n < 1:
+        raise ValueError("random tree needs at least one node")
+    if n == 1:
+        return {0: set()}
+    if n == 2:
+        return from_edges([(0, 1)])
+    rng = random.Random(seed)
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    return tree_from_prufer(prufer)
+
+
+def tree_from_prufer(prufer: Sequence[int]) -> Graph:
+    """Decode a Prüfer sequence into its labelled tree."""
+    n = len(prufer) + 2
+    degree = [1] * n
+    for x in prufer:
+        if not 0 <= x < n:
+            raise ReproError(f"prufer symbol {x} out of range for n={n}")
+        degree[x] += 1
+    edges = []
+    import heapq
+
+    leaves = [i for i in range(n) if degree[i] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, x))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, x)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return from_edges(edges)
+
+
+def caterpillar(spine: int, legs_per_node: int) -> Graph:
+    """A path of ``spine`` nodes, each with ``legs_per_node`` leaf legs."""
+    if spine < 1 or legs_per_node < 0:
+        raise ValueError("invalid caterpillar parameters")
+    g = path(spine)
+    next_id = spine
+    for s in range(spine):
+        for _ in range(legs_per_node):
+            add_edge(g, s, next_id)
+            next_id += 1
+    return g
+
+
+def broom(handle: int, bristles: int) -> Graph:
+    """A path of ``handle`` nodes ending in a star of ``bristles`` leaves.
+
+    The classic instance where line-healing accumulates diameter: killing
+    the star center repeatedly stretches the handle.
+    """
+    if handle < 1 or bristles < 1:
+        raise ValueError("invalid broom parameters")
+    g = path(handle)
+    for i in range(bristles):
+        add_edge(g, handle - 1, handle + i)
+    return g
+
+
+def spider(legs: int, leg_length: int) -> Graph:
+    """``legs`` paths of ``leg_length`` nodes joined at a hub (id 0)."""
+    if legs < 1 or leg_length < 1:
+        raise ValueError("invalid spider parameters")
+    edges = []
+    next_id = 1
+    for _ in range(legs):
+        prev = 0
+        for _ in range(leg_length):
+            edges.append((prev, next_id))
+            prev = next_id
+            next_id += 1
+    return from_edges(edges)
+
+
+def random_connected_gnp(n: int, p: float, seed: int = 0) -> Graph:
+    """G(n, p) conditioned on connectivity (re-seeds until connected,
+    then patches any leftover components along a random spanning chain)."""
+    if n < 1:
+        raise ValueError("gnp needs at least one node")
+    rng = random.Random(seed)
+    g: Graph = {i: set() for i in range(n)}
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                add_edge(g, u, v)
+    # Patch connectivity deterministically: chain component representatives.
+    if not is_connected(g):
+        reps = _component_reps(g)
+        for a, b in zip(reps, reps[1:]):
+            add_edge(g, a, b)
+    return g
+
+
+def preferential_attachment(n: int, m: int, seed: int = 0) -> Graph:
+    """Barabási–Albert-style scale-free graph: each new node attaches to
+    ``m`` existing nodes with probability proportional to degree.
+
+    This is the "power-law network" setting of the cascading-failure
+    related work and the natural P2P overlay model of the introduction.
+    """
+    if n < m + 1 or m < 1:
+        raise ValueError("preferential attachment needs n > m >= 1")
+    rng = random.Random(seed)
+    g: Graph = {i: set() for i in range(n)}
+    targets: List[int] = list(range(m))
+    repeated: List[int] = list(range(m))
+    for new in range(m, n):
+        chosen: Set[int] = set()
+        while len(chosen) < m:
+            chosen.add(rng.choice(repeated) if repeated else rng.randrange(new))
+        for t in chosen:
+            add_edge(g, new, t)
+            repeated.append(t)
+            repeated.append(new)
+    if not is_connected(g):  # pragma: no cover - PA graphs are connected
+        reps = _component_reps(g)
+        for a, b in zip(reps, reps[1:]):
+            add_edge(g, a, b)
+    return g
+
+
+def grid(width: int, height: int) -> Graph:
+    """A width × height grid (4-neighborhood)."""
+    if width < 1 or height < 1:
+        raise ValueError("invalid grid dimensions")
+    g: Graph = {i: set() for i in range(width * height)}
+    for y in range(height):
+        for x in range(width):
+            nid = y * width + x
+            if x + 1 < width:
+                add_edge(g, nid, nid + 1)
+            if y + 1 < height:
+                add_edge(g, nid, nid + width)
+    return g
+
+
+def hypercube(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube (2^dim nodes, log-degree)."""
+    if dim < 1:
+        raise ValueError("hypercube dimension must be >= 1")
+    n = 1 << dim
+    g: Graph = {i: set() for i in range(n)}
+    for u in range(n):
+        for b in range(dim):
+            add_edge(g, u, u ^ (1 << b))
+    return g
+
+
+def two_level_star(hubs: int, leaves_per_hub: int) -> Graph:
+    """A hub-and-spoke overlay: a center, ``hubs`` superpeers, leaf peers.
+
+    Mimics the Skype-style superpeer topology of the introduction's
+    motivating outage.
+    """
+    if hubs < 1 or leaves_per_hub < 0:
+        raise ValueError("invalid two_level_star parameters")
+    edges = []
+    next_id = 1 + hubs
+    for h in range(1, hubs + 1):
+        edges.append((0, h))
+        for _ in range(leaves_per_hub):
+            edges.append((h, next_id))
+            next_id += 1
+    return from_edges(edges)
+
+
+def _component_reps(g: Graph) -> List[int]:
+    from .adjacency import connected_components
+
+    return sorted(min(c) for c in connected_components(g))
+
+
+#: Named tree families used by benchmark sweeps: name -> factory(n, seed).
+TREE_FAMILIES = {
+    "star": lambda n, seed=0: star(max(1, n - 1)),
+    "path": lambda n, seed=0: path(n),
+    "random": lambda n, seed=0: random_tree(n, seed),
+    "binary": lambda n, seed=0: _balanced_with_n(2, n),
+    "ternary": lambda n, seed=0: _balanced_with_n(3, n),
+    "broom": lambda n, seed=0: broom(max(1, n // 2), max(1, n - n // 2)),
+    "caterpillar": lambda n, seed=0: caterpillar(max(1, n // 4), 3),
+    "spider": lambda n, seed=0: spider(max(1, n // 10 or 1), 10),
+}
+
+
+def _balanced_with_n(branching: int, n: int) -> Graph:
+    """Balanced tree with at least ``n`` nodes (smallest full height)."""
+    height = 0
+    total = 1
+    layer = 1
+    while total < n:
+        layer *= branching
+        total += layer
+        height += 1
+    return balanced_tree(branching, height)

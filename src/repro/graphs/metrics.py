@@ -1,0 +1,123 @@
+"""Graph metrics: diameters, eccentricities, stretch.
+
+The paper's success metrics (Model 2.1) are *degree increase* and *diameter
+stretch*.  Degree bookkeeping lives with the engines; this module provides
+the distance machinery: exact diameters (all-sources BFS), the fast
+double-sweep lower bound used by benchmarks on larger graphs, per-pair
+stretch between two graphs, and eccentricities.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..core.errors import DisconnectedGraphError, EmptyStructureError
+from .adjacency import Graph, bfs_distances
+
+
+def eccentricity(graph: Graph, source: int) -> int:
+    """Max hop distance from ``source`` (graph must be connected)."""
+    dist = bfs_distances(graph, source)
+    if len(dist) != len(graph):
+        raise DisconnectedGraphError(f"node {source} cannot reach the whole graph")
+    return max(dist.values())
+
+
+def diameter_exact(graph: Graph) -> int:
+    """Exact diameter by all-sources BFS (O(n·m); fine up to a few 1000s)."""
+    if not graph:
+        raise EmptyStructureError("diameter of empty graph")
+    if len(graph) == 1:
+        return 0
+    best = 0
+    for source in graph:
+        best = max(best, eccentricity(graph, source))
+    return best
+
+
+def diameter_double_sweep(graph: Graph, seed: int = 0) -> int:
+    """Double-sweep lower bound on the diameter (exact on trees).
+
+    Start a BFS anywhere, move to the farthest node found, BFS again; the
+    max distance of the second sweep lower-bounds the diameter and equals
+    it on trees — which is where the benchmarks use it.
+    """
+    if not graph:
+        raise EmptyStructureError("diameter of empty graph")
+    if len(graph) == 1:
+        return 0
+    rng = random.Random(seed)
+    start = rng.choice(sorted(graph))
+    dist = bfs_distances(graph, start)
+    if len(dist) != len(graph):
+        raise DisconnectedGraphError("double sweep on disconnected graph")
+    far = max(dist, key=lambda n: (dist[n], n))
+    dist2 = bfs_distances(graph, far)
+    return max(dist2.values())
+
+
+def diameter(graph: Graph, exact: bool = True, seed: int = 0) -> int:
+    """Diameter; ``exact=False`` uses the double sweep (exact on trees)."""
+    return diameter_exact(graph) if exact else diameter_double_sweep(graph, seed)
+
+
+def radius(graph: Graph) -> int:
+    """Min eccentricity over nodes (exact, all-sources)."""
+    if not graph:
+        raise EmptyStructureError("radius of empty graph")
+    return min(eccentricity(graph, s) for s in graph)
+
+
+def center(graph: Graph) -> Set[int]:
+    """Nodes of minimum eccentricity."""
+    if not graph:
+        raise EmptyStructureError("center of empty graph")
+    ecc = {s: eccentricity(graph, s) for s in graph}
+    r = min(ecc.values())
+    return {s for s, e in ecc.items() if e == r}
+
+
+def pairwise_stretch(
+    before: Graph,
+    after: Graph,
+    pairs: Optional[Iterable[Tuple[int, int]]] = None,
+    sample: int = 0,
+    seed: int = 0,
+) -> Dict[Tuple[int, int], float]:
+    """Distance stretch ``d_after(u,v) / d_before(u,v)`` for node pairs.
+
+    Only pairs alive in both graphs are measured.  ``sample > 0`` draws that
+    many random pairs instead of measuring all (used on large graphs).
+    """
+    common = sorted(set(before) & set(after))
+    if pairs is None:
+        if sample > 0:
+            rng = random.Random(seed)
+            pairs = [
+                tuple(sorted(rng.sample(common, 2)))  # type: ignore[misc]
+                for _ in range(sample)
+                if len(common) >= 2
+            ]
+        else:
+            pairs = [(u, v) for i, u in enumerate(common) for v in common[i + 1 :]]
+    out: Dict[Tuple[int, int], float] = {}
+    cache_before: Dict[int, Dict[int, int]] = {}
+    cache_after: Dict[int, Dict[int, int]] = {}
+    for u, v in pairs:
+        if u not in cache_before:
+            cache_before[u] = bfs_distances(before, u)
+        if u not in cache_after:
+            cache_after[u] = bfs_distances(after, u)
+        d0 = cache_before[u].get(v)
+        d1 = cache_after[u].get(v)
+        if d0 in (None, 0) or d1 is None:
+            continue
+        out[(u, v)] = d1 / d0
+    return out
+
+
+def max_stretch(before: Graph, after: Graph, sample: int = 0, seed: int = 0) -> float:
+    """Max pairwise stretch between two graphs (1.0 if nothing measurable)."""
+    stretches = pairwise_stretch(before, after, sample=sample, seed=seed)
+    return max(stretches.values(), default=1.0)

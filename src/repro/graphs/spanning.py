@@ -1,0 +1,109 @@
+"""Spanning trees of general graphs.
+
+The Forgiving Tree operates on a rooted spanning tree of the network
+(Section 3: "we begin with a rooted spanning tree T, which without loss of
+generality may as well be the entire network").  The sequential engine uses
+:func:`bfs_tree` here; the *distributed* construction with Cohen-style
+O(log n) messages per edge lives in :mod:`repro.distributed.setup`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Optional, Set, Tuple
+
+from ..core.errors import DisconnectedGraphError, NodeNotFoundError
+from .adjacency import Graph, from_edges
+
+
+def bfs_tree(graph: Graph, root: Optional[int] = None) -> Graph:
+    """Breadth-first spanning tree rooted at ``root`` (default: min id).
+
+    Neighbors are scanned in sorted order, so the tree is deterministic —
+    and it is a *shortest-path* tree, which preserves the paper's diameter
+    accounting (tree height ≤ eccentricity of the root).
+    """
+    if not graph:
+        return {}
+    if root is None:
+        root = min(graph)
+    if root not in graph:
+        raise NodeNotFoundError(root, "bfs_tree root")
+    parent: Dict[int, int] = {}
+    seen: Set[int] = {root}
+    queue = deque([root])
+    while queue:
+        cur = queue.popleft()
+        for nxt in sorted(graph[cur]):
+            if nxt not in seen:
+                seen.add(nxt)
+                parent[nxt] = cur
+                queue.append(nxt)
+    if len(seen) != len(graph):
+        raise DisconnectedGraphError("bfs_tree on disconnected graph")
+    if not parent:
+        return {root: set()}
+    return from_edges(parent.items())
+
+
+def random_spanning_tree(graph: Graph, seed: int = 0) -> Graph:
+    """Random spanning tree by randomized BFS/DFS hybrid (deterministic
+    per seed).  Used by tests to vary tree shapes over the same graph."""
+    if not graph:
+        return {}
+    rng = random.Random(seed)
+    root = rng.choice(sorted(graph))
+    parent: Dict[int, int] = {}
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        idx = rng.randrange(len(frontier))
+        frontier[idx], frontier[-1] = frontier[-1], frontier[idx]
+        cur = frontier.pop()
+        neighbors = sorted(graph[cur])
+        rng.shuffle(neighbors)
+        for nxt in neighbors:
+            if nxt not in seen:
+                seen.add(nxt)
+                parent[nxt] = cur
+                frontier.append(nxt)
+    if len(seen) != len(graph):
+        raise DisconnectedGraphError("random_spanning_tree on disconnected graph")
+    if not parent:
+        return {root: set()}
+    return from_edges(parent.items())
+
+
+def tree_parents(tree: Graph, root: int) -> Dict[int, Optional[int]]:
+    """Parent map of a tree rooted at ``root`` (root maps to None)."""
+    if root not in tree:
+        raise NodeNotFoundError(root, "tree_parents root")
+    parents: Dict[int, Optional[int]] = {root: None}
+    queue = deque([root])
+    while queue:
+        cur = queue.popleft()
+        for nxt in sorted(tree[cur]):
+            if nxt not in parents:
+                parents[nxt] = cur
+                queue.append(nxt)
+    if len(parents) != len(tree):
+        raise DisconnectedGraphError("tree_parents on disconnected input")
+    return parents
+
+
+def tree_height(tree: Graph, root: int) -> int:
+    """Height of the tree as rooted at ``root``."""
+    from .adjacency import bfs_distances
+
+    dist = bfs_distances(tree, root)
+    if len(dist) != len(tree):
+        raise DisconnectedGraphError("tree_height on disconnected input")
+    return max(dist.values())
+
+
+def non_tree_edges(graph: Graph, tree: Graph) -> Set[Tuple[int, int]]:
+    """Edges of ``graph`` not used by ``tree`` (canonical pairs)."""
+    from .adjacency import edges as edge_set
+
+    return edge_set(graph) - edge_set(tree)

@@ -1,0 +1,13 @@
+"""Experiment harness: campaigns, sweeps, bounds and report tables."""
+
+from . import bounds, report
+from .experiment import CampaignResult, RoundRecord, duel, run_campaign
+
+__all__ = [
+    "CampaignResult",
+    "RoundRecord",
+    "bounds",
+    "duel",
+    "report",
+    "run_campaign",
+]

@@ -1,0 +1,58 @@
+"""Theoretical bounds from the paper, as checkable formulas.
+
+Each function returns the quantity a theorem guarantees so benchmarks can
+print *measured vs bound* side by side (EXPERIMENTS.md records both).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def thm1_degree_bound(branching: int = 2) -> int:
+    """Theorem 1.1: degree increase is at most 3 (generalized: b + 1)."""
+    return branching + 1
+
+
+def thm1_diameter_bound(original_diameter: int, max_degree: int, branching: int = 2) -> int:
+    """Theorem 1.2 envelope: ``O(D log ∆)`` with explicit safe constants.
+
+    The proof charges each original edge on a root path at most
+    ``⌈log_b ∆⌉ + 1`` healed hops (RT depth plus the ready heir), doubled
+    for the two root paths; ``(⌈log_b ∆⌉ + 2)·(D + 1) + 2`` dominates it
+    for every instance we generate.
+    """
+    if max_degree <= 1:
+        return max(original_diameter, 1) + 2
+    log_delta = max(1, math.ceil(math.log(max_degree, branching)))
+    return (log_delta + 2) * (original_diameter + 1) + 2
+
+
+def thm2_lower_bound_holds(alpha: int, beta: float, delta: int) -> bool:
+    """Theorem 2: any healer with degree increase ≤ α and stretch ≤ β on
+    the star of max degree ∆ satisfies ``α^(2β+1) ≥ ∆`` (α ≥ 3)."""
+    if alpha < 1:
+        return delta <= 1
+    return alpha ** (2 * beta + 1) >= delta
+
+
+def thm2_min_stretch(alpha: int, delta: int) -> float:
+    """The β any (α, ·)-healer must pay on the star: β ≥ (log_α ∆ − 1)/2."""
+    if delta <= 1 or alpha <= 1:
+        return 0.0
+    return max(0.0, (math.log(delta, alpha) - 1) / 2)
+
+
+def section42_stretch_bound(alpha: int, delta: int) -> float:
+    """Section 4.2 remark: the modified Forgiving Tree achieves
+    ``β ≤ 2·log_α ∆ + 2`` for any α ≥ 3."""
+    if delta <= 1:
+        return 2.0
+    if alpha < 3:
+        raise ValueError("the remark requires alpha >= 3")
+    return 2 * math.log(delta, alpha) + 2
+
+
+def setup_messages_bound(n: int, constant: float = 4.0) -> float:
+    """Setup phase: w.h.p. ``O(log n)`` messages per edge (Cohen [4])."""
+    return constant * math.log2(max(n, 2))

@@ -1,0 +1,160 @@
+"""Attack/heal campaign loop and time-series collection.
+
+A *campaign* plays the Delete and Repair game: an adversary picks victims,
+a healer repairs, and we record the paper's success metrics each round
+(Model 2.1): max degree increase, diameter (and stretch), connectivity, and
+communication.  Campaigns power every benchmark table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..adversaries.base import Adversary
+from ..baselines.base import Healer
+from ..core.errors import SimulationOverError
+from ..graphs.adjacency import Graph, is_connected, max_degree
+from ..graphs.metrics import diameter_double_sweep, diameter_exact
+
+
+@dataclass
+class RoundRecord:
+    """Metrics after one deletion + heal."""
+
+    round: int
+    deleted: int
+    alive: int
+    max_degree_increase: int
+    diameter: Optional[int]  # None when disconnected or when not measured
+    connected: bool
+    edges_added: int
+    total_messages: int
+    max_messages_per_node: int
+
+
+@dataclass
+class CampaignResult:
+    """Everything a benchmark needs from one campaign."""
+
+    healer_name: str
+    adversary_name: str
+    n0: int
+    initial_diameter: int
+    initial_max_degree: int
+    rounds: List[RoundRecord] = field(default_factory=list)
+
+    @property
+    def peak_degree_increase(self) -> int:
+        return max((r.max_degree_increase for r in self.rounds), default=0)
+
+    @property
+    def peak_diameter(self) -> int:
+        return max((r.diameter for r in self.rounds if r.diameter is not None), default=0)
+
+    @property
+    def peak_stretch(self) -> float:
+        if self.initial_diameter == 0:
+            return 1.0
+        return self.peak_diameter / self.initial_diameter
+
+    @property
+    def stayed_connected(self) -> bool:
+        return all(r.connected for r in self.rounds)
+
+    @property
+    def peak_messages_per_node(self) -> int:
+        return max((r.max_messages_per_node for r in self.rounds), default=0)
+
+    def series(self, attr: str) -> List:
+        """Extract one column as a list (for figure-style output)."""
+        return [getattr(r, attr) for r in self.rounds]
+
+
+def run_campaign(
+    healer: Healer,
+    adversary: Adversary,
+    rounds: Optional[int] = None,
+    measure_diameter: bool = True,
+    exact_diameter: bool = False,
+    stop_fraction: float = 0.0,
+    on_round: Optional[Callable[[RoundRecord, Healer], None]] = None,
+) -> CampaignResult:
+    """Play the Delete and Repair game.
+
+    Parameters
+    ----------
+    rounds:
+        Number of deletions (default: until one node remains).
+    measure_diameter:
+        Compute the diameter each round (double sweep unless
+        ``exact_diameter`` — exact on trees either way).
+    stop_fraction:
+        Stop once fewer than this fraction of nodes survive.
+    on_round:
+        Optional observer called after each round.
+    """
+    initial = healer.graph()
+    n0 = len(initial)
+    result = CampaignResult(
+        healer_name=healer.name,
+        adversary_name=adversary.name,
+        n0=n0,
+        initial_diameter=diameter_exact(initial) if n0 > 1 else 0,
+        initial_max_degree=max_degree(initial),
+    )
+    adversary.reset()
+    budget = rounds if rounds is not None else n0 - 1
+    for t in range(budget):
+        if len(healer.alive) <= max(1, int(stop_fraction * n0)):
+            break
+        try:
+            victim = adversary.choose(healer)
+            report = healer.delete(victim)
+        except SimulationOverError:
+            break
+        graph = healer.graph()
+        connected = is_connected(graph)
+        diameter: Optional[int] = None
+        if measure_diameter and connected and len(graph) > 1:
+            diameter = (
+                diameter_exact(graph)
+                if exact_diameter
+                else diameter_double_sweep(graph)
+            )
+        record = RoundRecord(
+            round=t + 1,
+            deleted=victim,
+            alive=len(graph),
+            max_degree_increase=healer.max_degree_increase(),
+            diameter=diameter,
+            connected=connected,
+            edges_added=len(report.edges_added),
+            total_messages=report.total_messages,
+            max_messages_per_node=report.max_messages_per_node,
+        )
+        result.rounds.append(record)
+        if on_round is not None:
+            on_round(record, healer)
+    return result
+
+
+def duel(
+    graph: Graph,
+    healers: Sequence[Callable[[Graph], Healer]],
+    adversary_factory: Callable[[], Adversary],
+    rounds: Optional[int] = None,
+    exact_diameter: bool = False,
+) -> Dict[str, CampaignResult]:
+    """Run the same attack against several healers on the same graph."""
+    out: Dict[str, CampaignResult] = {}
+    for factory in healers:
+        healer = factory({k: set(v) for k, v in graph.items()})
+        result = run_campaign(
+            healer,
+            adversary_factory(),
+            rounds=rounds,
+            exact_diameter=exact_diameter,
+        )
+        out[result.healer_name] = result
+    return out

@@ -1,0 +1,65 @@
+"""Unit tests for the event records and the Figure-3 state machine types."""
+
+import pytest
+
+from repro.core.events import (
+    EdgeAdded,
+    EdgeRemoved,
+    HealReport,
+    HelperCreated,
+    WillPortionSent,
+    edge_key,
+)
+from repro.core.state import ALLOWED_TRANSITIONS, HelperState, NodeState
+
+
+class TestEdgeKey:
+    def test_canonical_order(self):
+        assert edge_key(5, 2) == (2, 5)
+        assert edge_key(2, 5) == (2, 5)
+
+    def test_event_keys_match(self):
+        assert EdgeAdded(9, 1).key() == EdgeRemoved(1, 9).key() == (1, 9)
+
+
+class TestHealReport:
+    def test_totals(self):
+        report = HealReport(
+            deleted=3,
+            messages_per_node={1: 2, 2: 5},
+        )
+        assert report.total_messages == 7
+        assert report.max_messages_per_node == 5
+
+    def test_empty_messages(self):
+        report = HealReport(deleted=1)
+        assert report.total_messages == 0
+        assert report.max_messages_per_node == 0
+
+    def test_describe_mentions_kind(self):
+        assert "(leaf)" in HealReport(deleted=1).describe()
+        assert "(internal)" in HealReport(deleted=1, was_internal=True).describe()
+
+    def test_events_are_hashable_records(self):
+        assert len({HelperCreated(1, 2, True), HelperCreated(1, 2, True)}) == 1
+        assert WillPortionSent(1, 2) == WillPortionSent(1, 2)
+
+
+class TestStateMachine:
+    def test_flags_map(self):
+        s = NodeState(1, HelperState.READY, True, True, 1)
+        assert "isreadyheir=True" in s.flags
+
+    def test_every_state_has_an_exit(self):
+        for state in HelperState:
+            assert any(a is state for a, _ in ALLOWED_TRANSITIONS)
+
+    def test_wait_cannot_be_reached_from_nothing_illegal(self):
+        # There is no transition table entry inventing new states.
+        states = {s for pair in ALLOWED_TRANSITIONS for s in pair}
+        assert states == set(HelperState)
+
+    def test_nodestate_frozen(self):
+        s = NodeState(1, HelperState.WAIT, False, False, 0)
+        with pytest.raises(Exception):
+            s.nid = 2  # type: ignore[misc]

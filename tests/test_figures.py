@@ -1,0 +1,242 @@
+"""Exact reproductions of the paper's Figures 1-5.
+
+Node naming follows conftest.FIG5: r=0, p=4, i=5, v=6, j=7, k=8,
+a..h = 10..17, m,n,o = 18,19,20 — integer ids chosen so the sorted orders
+match the figure (the paper's letters are names, not sort keys; the
+figure's wiring implies i < v < j < k).
+"""
+
+import pytest
+
+from repro import ForgivingTree
+from repro.core.state import HelperState
+from tests.conftest import FIG5, FIGURE5_TREE
+
+
+def edge(a, b):
+    return (a, b) if a < b else (b, a)
+
+
+class TestFigure1:
+    """Deleted node v replaced by its Reconstruction Tree."""
+
+    def test_rt_shape_for_eight_children(self):
+        n = FIG5
+        ft = ForgivingTree(FIGURE5_TREE, strict=True)
+        will = ft.will_of(n["v"])
+        # Balanced binary search tree over a..h with the heir h rightmost.
+        assert will.heir == n["h"]
+        assert will.depth() == 3
+        ft.delete(n["v"])
+        # The heir becomes a ready heir (rectangle in Figure 1)...
+        assert ft.state_of(n["h"]).state is HelperState.READY
+        # ...and every other child simulates a deployed helper (circles).
+        for x in ("a", "b", "c", "d", "e", "f", "g"):
+            assert ft.state_of(n[x]).state is HelperState.DEPLOYED
+
+    def test_degree_increase_at_most_three_after_rt(self):
+        n = FIG5
+        ft = ForgivingTree(FIGURE5_TREE, strict=True)
+        ft.delete(n["v"])
+        assert ft.max_degree_increase() <= 3
+
+
+class TestFigure2:
+    """Will portions: nextparent / nexthparent / nexthchildren."""
+
+    def test_portions_of_four_child_will(self):
+        # x with children a,b,c,h == 1,2,3,8 below parent p.
+        ft = ForgivingTree({100: [50], 50: [1, 2, 3, 8]}, root=100, strict=True)
+        will = ft.will_of(50)
+        assert will.as_shape() == (2, (1, 1, 2), (3, 3, 8))
+        # h (the heir): nextparent = c, its ready heir attaches to p and
+        # its single helper child is the SubRT root (b's helper).
+        assert will.attachment_sim(8) == 3
+        assert will.root_sim() == 2
+        # b simulates the SubRT root: its helper children are a's and c's.
+        assert will.internal_children_refs(2) == [("internal", 1), ("internal", 3)]
+        # c's helper hangs below b's and covers leaves c and h.
+        assert will.internal_parent_sim(3) == 2
+        assert will.internal_children_refs(3) == [("leaf", 3), ("leaf", 8)]
+
+    def test_deployment_matches_portions(self):
+        ft = ForgivingTree({100: [50], 50: [1, 2, 3, 8]}, root=100, strict=True)
+        ft.delete(50)
+        assert ft.edges() == {
+            edge(100, 8),  # ready heir h to p
+            edge(8, 2),  # heir helper to SubRT root (b)
+            edge(2, 1),  # root to a's helper
+            edge(2, 3),  # root to c's helper
+            edge(1, 2),  # a's helper covers leaf b (dedup)
+            edge(3, 8),  # c's helper covers leaf h
+            edge(8, 3),  # h's leaf attaches to c (dedup)
+        }
+
+
+class TestFigure3:
+    """Wait / Ready / Deployed states and their transitions."""
+
+    def test_initial_states_wait(self):
+        ft = ForgivingTree(FIGURE5_TREE)
+        for nid in ft.alive:
+            assert ft.state_of(nid).state is HelperState.WAIT
+
+    def test_transition_wait_to_ready(self):
+        n = FIG5
+        ft = ForgivingTree(FIGURE5_TREE, strict=True)
+        ft.delete(n["v"])
+        assert ft.state_of(n["h"]).state is HelperState.READY
+        assert ft.state_of(n["h"]).is_ready_heir
+
+    def test_transition_wait_to_deployed(self):
+        n = FIG5
+        ft = ForgivingTree(FIGURE5_TREE, strict=True)
+        ft.delete(n["v"])
+        assert ft.state_of(n["d"]).state is HelperState.DEPLOYED
+
+    def test_transition_ready_to_deployed(self):
+        """An heir in ready state relinquishes its role and redeploys
+        (Turn 2 of Figure 5)."""
+        n = FIG5
+        ft = ForgivingTree(FIGURE5_TREE, strict=True)
+        ft.delete(n["v"])
+        assert ft.state_of(n["h"]).state is HelperState.READY
+        ft.delete(n["p"])
+        assert ft.state_of(n["h"]).state is HelperState.DEPLOYED
+
+    def test_transitions_all_legal_under_fuzz(self):
+        import random
+
+        from repro.core.state import ALLOWED_TRANSITIONS
+        from repro.graphs import generators
+
+        tree = generators.random_tree(40, seed=13)
+        ft = ForgivingTree(tree, strict=True)
+        states = {nid: ft.state_of(nid).state for nid in ft.alive}
+        order = sorted(tree)
+        random.Random(5).shuffle(order)
+        for victim in order:
+            ft.delete(victim)
+            for nid in ft.alive:
+                new = ft.state_of(nid).state
+                assert (states[nid], new) in ALLOWED_TRANSITIONS
+                states[nid] = new
+
+
+class TestFigure4:
+    """The four leaf-deletion cases."""
+
+    def test_case_a_helper_is_ancestor(self):
+        """(a): the deleted leaf's helper is its ancestor — the special
+        parent(v) = hparent(v) case; the helper is short-circuited."""
+        ft = ForgivingTree({100: [50], 50: [1, 2]}, root=100, strict=True)
+        ft.delete(50)
+        # 1 simulates the helper above its own leaf; 2 is the ready heir.
+        assert ft.state_of(1).state is HelperState.DEPLOYED
+        ft.delete(1)
+        assert ft.edges() == {edge(100, 2)}
+        assert ft.state_of(2).state is HelperState.READY
+
+    def test_case_b_shared_neighbor(self):
+        """(b): w and helper(w) share a neighbor — splice + takeover."""
+        ft = ForgivingTree({100: [50], 50: [1, 2, 3, 8]}, root=100, strict=True)
+        ft.delete(50)
+        ft.delete(2)  # simulates the SubRT root; its own leaf sits below 1
+        # 1's helper (covering leaves 1,2) was short-circuited; 1 inherits.
+        assert ft.state_of(1).is_helper
+        assert ft.max_degree_increase() <= 3
+
+    def test_case_c_disjoint_neighbors(self):
+        """(c): z and helper(z) share no neighbors — pure inheritance."""
+        ft = ForgivingTree({100: [50], 50: list(range(1, 9))}, root=100, strict=True)
+        ft.delete(50)
+        # node 4 simulates the SubRT root helper; its leaf is remote.
+        victim = 4
+        assert ft.state_of(victim).state is HelperState.DEPLOYED
+        ft.delete(victim)
+        from repro.core.invariants import check_full
+
+        check_full(ft)
+
+    def test_case_d_ready_heir_leaf(self):
+        """(d): the deleted leaf is an heir in ready state."""
+        ft = ForgivingTree({100: [50], 50: [1, 2, 3, 8]}, root=100, strict=True)
+        ft.delete(50)
+        assert ft.state_of(8).state is HelperState.READY
+        ft.delete(8)  # ready heir dies as a leaf
+        from repro.core.invariants import check_full
+
+        check_full(ft)
+        assert ft.max_degree_increase() <= 3
+
+
+class TestFigure5:
+    """The worked four-turn example, edge for edge."""
+
+    @pytest.fixture()
+    def engine(self):
+        return ForgivingTree(FIGURE5_TREE, strict=True)
+
+    def test_turn1_delete_v(self, engine):
+        n = FIG5
+        engine.delete(n["v"])
+        E = engine.edges()
+        # "h is v's heir and connects to both p and d"
+        assert edge(n["h"], n["p"]) in E
+        assert edge(n["h"], n["d"]) in E
+        # "the real graph now contains a cycle, (b, c, d)"
+        assert edge(n["b"], n["c"]) in E
+        assert edge(n["c"], n["d"]) in E
+        assert edge(n["d"], n["b"]) in E
+
+    def test_turn2_delete_p(self, engine):
+        n = FIG5
+        engine.delete(n["v"])
+        engine.delete(n["p"])
+        E = engine.edges()
+        # "h takes over the helper role of v in RT(p)"
+        assert engine.state_of(n["h"]).state is HelperState.DEPLOYED
+        # "d attaches to i"
+        assert edge(n["d"], n["i"]) in E
+        # "k is p's heir and connects to both h and parent(p)"
+        assert engine.state_of(n["k"]).state is HelperState.READY
+        assert edge(n["k"], n["h"]) in E
+        assert edge(n["k"], n["r"]) in E
+
+    def test_turn3_delete_d(self, engine):
+        n = FIG5
+        engine.delete(n["v"])
+        engine.delete(n["p"])
+        engine.delete(n["d"])
+        # "The virtual node of c is bypassed and c takes over the helper
+        # role of d."
+        assert engine.state_of(n["c"]).is_helper
+        E = engine.edges()
+        assert edge(n["c"], n["b"]) in E
+        assert edge(n["c"], n["f"]) in E
+        assert edge(n["c"], n["i"]) in E
+
+    def test_turn4_delete_h(self, engine):
+        n = FIG5
+        for victim in ("v", "p", "d", "h"):
+            engine.delete(FIG5[victim])
+        E = engine.edges()
+        # "Vertices m, n and o take over virtual nodes of RT(h). o is heir
+        # of h and takes over h's helper role."
+        assert engine.state_of(n["o"]).is_helper
+        assert edge(n["o"], n["k"]) in E
+        assert edge(n["o"], n["i"]) in E
+        assert edge(n["o"], n["j"]) in E
+        # "since the number of children of h was not a power of 2, not all
+        # the leaves of RT(h) are at the same depth": m,n under n's helper,
+        # o directly below the root helper.
+        assert edge(n["m"], n["n"]) in E
+        assert edge(n["n"], n["g"]) in E
+
+    def test_full_sequence_respects_theorems(self, engine):
+        from repro.core.invariants import check_full
+
+        for victim in ("v", "p", "d", "h"):
+            engine.delete(FIG5[victim])
+            check_full(engine, original_diameter=6, max_degree=8)
+        assert engine.max_degree_increase() <= 3

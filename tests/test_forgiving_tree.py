@@ -1,0 +1,198 @@
+"""Behavioral tests of the sequential Forgiving Tree engine."""
+
+import pytest
+
+from repro import ForgivingTree
+from repro.core.errors import (
+    NodeNotFoundError,
+    NotATreeError,
+    SimulationOverError,
+)
+from repro.core.events import HelperCreated, HelperTransferred, LeafWillSent, WillPortionSent
+from repro.core.state import HelperState
+from repro.graphs import generators
+
+
+class TestConstruction:
+    def test_accepts_adjacency(self):
+        ft = ForgivingTree({0: [1, 2]})
+        assert ft.alive == {0, 1, 2}
+
+    def test_accepts_edge_list(self):
+        ft = ForgivingTree([(0, 1), (1, 2)])
+        assert ft.alive == {0, 1, 2}
+
+    def test_accepts_networkx(self):
+        import networkx as nx
+
+        g = nx.path_graph(4)
+        ft = ForgivingTree(g)
+        assert ft.alive == {0, 1, 2, 3}
+
+    def test_rejects_cycle(self):
+        with pytest.raises(NotATreeError):
+            ForgivingTree([(0, 1), (1, 2), (2, 0)])
+
+    def test_rejects_forest(self):
+        with pytest.raises(NotATreeError):
+            ForgivingTree({0: [1], 2: [3]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(NotATreeError):
+            ForgivingTree({})
+
+    def test_rejects_unknown_root(self):
+        with pytest.raises(NodeNotFoundError):
+            ForgivingTree({0: [1]}, root=9)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            ForgivingTree({0: [1]}, will_mode="nope")
+
+
+class TestStarDeletion:
+    def test_center_death_builds_rt(self):
+        ft = ForgivingTree({0: [1, 2, 3, 4]}, strict=True)
+        report = ft.delete(0)
+        assert report.was_internal
+        # RT over {1,2,3,4}: heir 4 ready heir; root helper keyed 2.
+        assert ft.edges() == {(1, 2), (2, 3), (2, 4), (3, 4)}
+        assert ft.max_degree_increase() <= 3
+        assert ft.state_of(4).state is HelperState.READY
+        assert ft.state_of(2).state is HelperState.DEPLOYED
+
+    def test_leaf_death_updates_will(self):
+        ft = ForgivingTree({0: [1, 2, 3, 4]}, strict=True)
+        report = ft.delete(3)
+        assert not report.was_internal
+        assert ft.edges() == {(0, 1), (0, 2), (0, 4)}
+        assert ft.will_of(0).stand_ins == [1, 2, 4]
+
+    def test_heir_leaf_death_moves_heirship(self):
+        ft = ForgivingTree({0: [1, 2, 3, 4]}, strict=True)
+        assert ft.heir_of(0) == 4
+        ft.delete(4)
+        # Paper rule: the child whose helper dropped from 3 to 2 inherits.
+        assert ft.heir_of(0) == 3
+
+
+class TestFullCampaigns:
+    @pytest.mark.parametrize("family", ["star", "path", "random", "binary", "broom"])
+    def test_every_family_survives_random_order(self, family):
+        from .conftest import run_full_campaign
+
+        tree = generators.TREE_FAMILIES[family](40, 5)
+        ft = run_full_campaign(tree, seed=11)
+        assert len(ft) == 0
+
+    def test_degree_never_exceeds_plus_three(self):
+        import random
+
+        tree = generators.random_tree(60, seed=3)
+        ft = ForgivingTree(tree, strict=True)
+        order = sorted(tree)
+        random.Random(1).shuffle(order)
+        for nid in order:
+            ft.delete(nid)
+            assert ft.max_degree_increase() <= 3
+
+    def test_rebuild_mode_matches_splice_guarantees(self):
+        from .conftest import run_full_campaign
+
+        tree = generators.random_tree(40, seed=9)
+        ft = run_full_campaign(tree, seed=2, will_mode="rebuild")
+        assert len(ft) == 0
+
+
+class TestReports:
+    def test_report_describes(self):
+        ft = ForgivingTree({0: [1, 2]})
+        report = ft.delete(0)
+        text = report.describe()
+        assert "deleted 0" in text
+
+    def test_events_present(self):
+        ft = ForgivingTree({0: [1, 2, 3]})
+        report = ft.delete(0)
+        kinds = {type(e) for e in report.events}
+        assert HelperCreated in kinds
+
+    def test_leaf_will_event_on_new_leaf(self):
+        # 0-1-2 path: killing 2 makes 1 a leaf; if 1 has duties it deposits.
+        ft = ForgivingTree(generators.path(4), strict=True)
+        ft.delete(0)
+        report = ft.delete(1)
+        assert isinstance(report.messages_per_node, dict)
+
+    def test_will_portion_events_on_slot_change(self):
+        ft = ForgivingTree({0: [1, 2, 3, 4]}, strict=True)
+        report = ft.delete(3)
+        assert any(isinstance(e, WillPortionSent) for e in report.events)
+
+    def test_messages_bounded_per_node(self):
+        import random
+
+        tree = generators.random_tree(80, seed=5)
+        ft = ForgivingTree(tree)
+        order = sorted(tree)
+        random.Random(3).shuffle(order)
+        worst = 0
+        for nid in order:
+            report = ft.delete(nid)
+            worst = max(worst, report.max_messages_per_node)
+        assert worst <= 12  # O(1): independent of n (see benchmarks)
+
+
+class TestErrors:
+    def test_delete_twice(self):
+        ft = ForgivingTree({0: [1]})
+        ft.delete(0)
+        with pytest.raises(NodeNotFoundError):
+            ft.delete(0)
+
+    def test_delete_after_empty(self):
+        ft = ForgivingTree({0: [1]})
+        ft.delete(0)
+        ft.delete(1)
+        with pytest.raises(SimulationOverError):
+            ft.delete(1)
+
+    def test_state_of_dead(self):
+        ft = ForgivingTree({0: [1]})
+        ft.delete(1)
+        with pytest.raises(NodeNotFoundError):
+            ft.state_of(1)
+
+
+class TestRootDeletion:
+    def test_root_death_promotes_ready_heir_to_root(self):
+        ft = ForgivingTree({0: [1, 2]}, strict=True)
+        ft.delete(0)
+        # heir 2 simulates the new virtual root (ready heir).
+        assert ft.state_of(2).state is HelperState.READY
+        assert ft.edges() == {(1, 2)}
+
+    def test_delete_down_to_one(self):
+        ft = ForgivingTree(generators.path(5), strict=True)
+        for nid in [0, 4, 2, 1]:
+            ft.delete(nid)
+        assert ft.alive == {3}
+        assert ft.edges() == set()
+
+    def test_delete_everything(self):
+        ft = ForgivingTree(generators.path(5), strict=True)
+        for nid in [2, 0, 4, 3, 1]:
+            ft.delete(nid)
+        assert len(ft) == 0
+
+
+class TestHeirTransfer:
+    def test_heir_inherits_helper_role(self):
+        """Killing a node that already simulates a helper transfers it."""
+        ft = ForgivingTree({0: [1, 2, 3, 4], 2: [5, 6]}, strict=True)
+        ft.delete(0)  # 2 now simulates the RT root helper
+        assert ft.state_of(2).state is HelperState.DEPLOYED
+        report = ft.delete(2)  # heir 6 must take over 2's helper
+        transfers = [e for e in report.events if isinstance(e, HelperTransferred)]
+        assert any(t.new_sim == 6 for t in transfers)
+        assert ft.state_of(6).is_helper

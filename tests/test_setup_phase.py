@@ -1,0 +1,70 @@
+"""Tests for the distributed setup phase (BFS + Cohen-style estimation)."""
+
+import math
+
+import pytest
+
+from repro.graphs import adjacency as adj
+from repro.graphs import generators as gen
+from repro.graphs import metrics
+from repro.distributed.setup import distributed_bfs_setup, size_estimate
+
+
+class TestDistributedBfs:
+    def test_tree_output_is_spanning_tree(self):
+        g = gen.random_connected_gnp(40, 0.1, seed=3)
+        report = distributed_bfs_setup(g, seed=1)
+        assert adj.edge_count(report.tree) == len(g) - 1
+        assert adj.is_connected(report.tree)
+        assert set(report.tree) == set(g)
+
+    def test_tree_is_bfs_from_root(self):
+        g = gen.grid(6, 6)
+        report = distributed_bfs_setup(g, seed=2)
+        gd = adj.bfs_distances(g, report.root)
+        td = adj.bfs_distances(report.tree, report.root)
+        assert gd == td
+
+    def test_latency_proportional_to_diameter(self):
+        g = gen.grid(8, 8)
+        d = metrics.diameter_exact(g)
+        report = distributed_bfs_setup(g, seed=0)
+        assert report.latency <= 3 * d + 4
+
+    @pytest.mark.parametrize("n", [32, 128, 512])
+    def test_messages_per_edge_logarithmic(self, n):
+        """The paper's w.h.p. O(log n) messages per edge (Cohen [4])."""
+        g = gen.random_connected_gnp(n, min(1.0, 8 / n), seed=n)
+        report = distributed_bfs_setup(g, seed=n)
+        assert report.max_messages_per_edge <= 6 * math.log2(n) + 8
+
+    def test_single_node(self):
+        report = distributed_bfs_setup({0: set()})
+        assert report.root == 0
+        assert report.tree == {0: set()}
+
+    def test_rejects_disconnected(self):
+        from repro.core.errors import DisconnectedGraphError
+
+        with pytest.raises(DisconnectedGraphError):
+            distributed_bfs_setup({0: set(), 1: set()})
+
+    def test_deterministic_per_seed(self):
+        g = gen.random_connected_gnp(30, 0.15, seed=4)
+        a = distributed_bfs_setup(g, seed=9)
+        b = distributed_bfs_setup(g, seed=9)
+        assert a.root == b.root
+        assert a.tree == b.tree
+
+
+class TestSizeEstimate:
+    @pytest.mark.parametrize("n", [64, 256, 1024])
+    def test_estimate_concentrates(self, n):
+        g = {i: set() for i in range(n)}
+        g = gen.path(n)
+        estimates = [size_estimate(g, seed=s) for s in range(5)]
+        mean = sum(estimates) / len(estimates)
+        assert 0.5 * n <= mean <= 2.0 * n
+
+    def test_handles_tiny(self):
+        assert size_estimate(gen.path(2), seed=1) > 0

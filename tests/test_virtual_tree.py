@@ -1,0 +1,150 @@
+"""Unit tests for the virtual tree and its incremental image graph."""
+
+import pytest
+
+from repro.core.errors import (
+    DuplicateNodeError,
+    InvariantViolationError,
+    NodeNotFoundError,
+)
+from repro.core.events import EdgeAdded, EdgeRemoved
+from repro.core.virtual_tree import VirtualTree, VTHelper, VTReal
+
+
+def build_simple():
+    """0 - 1, 0 - 2 (root 0)."""
+    vt = VirtualTree()
+    r0, r1, r2 = vt.add_real(0), vt.add_real(1), vt.add_real(2)
+    vt.set_root(r0)
+    vt.attach(r1, r0)
+    vt.attach(r2, r0)
+    return vt, r0, r1, r2
+
+
+class TestImageBookkeeping:
+    def test_real_edges(self):
+        vt, *_ = build_simple()
+        assert vt.image_edges() == {(0, 1), (0, 2)}
+        vt.check()
+
+    def test_helper_self_loop_vanishes(self):
+        vt, r0, r1, r2 = build_simple()
+        helper = vt.new_helper(1)  # simulated by 1
+        vt.detach(r1)
+        vt.attach(helper, r0)
+        vt.attach(r1, helper)  # edge helper(sim 1) - real 1: self-loop
+        assert vt.image_edges() == {(0, 1), (0, 2)}
+        vt.check()
+
+    def test_duplicate_edges_merge(self):
+        vt, r0, r1, r2 = build_simple()
+        helper = vt.new_helper(2)
+        vt.detach(r2)
+        vt.attach(helper, r0)  # image 0-2
+        vt.attach(r2, helper)  # self-loop
+        # 0-2 present exactly once even though contributed by helper
+        assert vt.image_edges() == {(0, 1), (0, 2)}
+        assert vt.image_degree(0) == 2
+
+    def test_recorder_events(self):
+        events = []
+        vt = VirtualTree(recorder=events.append)
+        a, b = vt.add_real(1), vt.add_real(2)
+        vt.set_root(a)
+        vt.attach(b, a)
+        assert events == [EdgeAdded(1, 2)]
+        vt.detach(b)
+        assert events[-1] == EdgeRemoved(1, 2)
+
+    def test_transfer_role_moves_edges(self):
+        vt, r0, r1, r2 = build_simple()
+        helper = vt.new_helper(1)
+        vt.detach(r2)
+        vt.attach(helper, r0)
+        vt.attach(r2, helper)
+        assert vt.image_edges() == {(0, 1), (1, 2)}
+        vt.transfer_role(helper, 2)
+        # now the helper maps to 2: edge 1-2 gone, 0-2 appears
+        assert vt.image_edges() == {(0, 1), (0, 2)}
+        assert vt.role_of(2) is helper
+        assert vt.role_of(1) is None
+        vt.check()
+
+
+class TestStructuralOps:
+    def test_splice(self):
+        vt, r0, r1, r2 = build_simple()
+        helper = vt.new_helper(1)
+        vt.detach(r2)
+        vt.attach(helper, r0)
+        vt.attach(r2, helper)
+        moved = vt.splice(helper)
+        assert moved is r2
+        assert r2.parent is r0
+        assert vt.role_of(1) is None
+        assert vt.image_edges() == {(0, 1), (0, 2)}
+        vt.check()
+
+    def test_splice_needs_single_child(self):
+        vt, r0, r1, r2 = build_simple()
+        helper = vt.new_helper(1)
+        vt.detach(r1), vt.detach(r2)
+        vt.attach(helper, r0)
+        vt.attach(r1, helper)
+        vt.attach(r2, helper)
+        with pytest.raises(InvariantViolationError):
+            vt.splice(helper)
+
+    def test_replace_child_positional(self):
+        vt, r0, r1, r2 = build_simple()
+        r3 = vt.add_real(3)
+        vt.replace_child(r0, r1, r3)
+        assert r0.children[0] is r3
+        assert r1.parent is None
+        assert vt.image_edges() == {(0, 3), (0, 2)}
+
+    def test_one_role_per_node(self):
+        vt, *_ = build_simple()
+        vt.new_helper(1)
+        with pytest.raises(InvariantViolationError):
+            vt.new_helper(1)
+
+    def test_helper_needs_live_sim(self):
+        vt, *_ = build_simple()
+        with pytest.raises(NodeNotFoundError):
+            vt.new_helper(99)
+
+    def test_remove_real_requires_detached(self):
+        vt, r0, r1, r2 = build_simple()
+        with pytest.raises(InvariantViolationError):
+            vt.remove_real(r1)
+        vt.detach(r1)
+        vt.remove_real(r1)
+        assert 1 not in vt
+
+    def test_remove_real_requires_role_free(self):
+        vt, r0, r1, r2 = build_simple()
+        vt.new_helper(1)  # 1 simulates something
+        vt.detach(r1)
+        with pytest.raises(InvariantViolationError):
+            vt.remove_real(r1)
+
+    def test_duplicate_real(self):
+        vt, *_ = build_simple()
+        with pytest.raises(DuplicateNodeError):
+            vt.add_real(0)
+
+    def test_check_detects_unreachable(self):
+        vt, r0, r1, r2 = build_simple()
+        vt.add_real(9)  # registered but never attached
+        with pytest.raises(InvariantViolationError):
+            vt.check()
+
+    def test_render_smoke(self):
+        vt, r0, r1, r2 = build_simple()
+        helper = vt.new_helper(1)
+        vt.detach(r2)
+        vt.attach(helper, r0)
+        vt.attach(r2, helper)
+        text = vt.render()
+        assert "0" in text and "<1>" in text  # one-child helper renders <sim>
