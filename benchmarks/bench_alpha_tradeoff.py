@@ -8,7 +8,7 @@ from repro.extensions import AlphaForgivingTree, tradeoff_point
 from repro.graphs import generators, metrics
 from repro.harness import bounds, report
 
-from .conftest import emit
+from benchmarks.conftest import emit
 
 DELTA = 512
 ALPHAS = (3, 4, 5, 7, 9)

@@ -17,7 +17,7 @@ from repro.baselines import (
 from repro.graphs import generators, metrics
 from repro.harness import duel, report
 
-from .conftest import emit
+from benchmarks.conftest import emit
 
 
 def run_degree_duel():

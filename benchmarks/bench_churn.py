@@ -1,0 +1,148 @@
+"""EXP-CHURN — healers under mixed insert/delete streams (the churn game).
+
+Two experiments:
+
+* **EXP-CHURN-SCALE** — the Forgiving Tree under a random churn stream at
+  n0 up to 10k: per-event wall time, peak degree increase, and peak
+  synthesized messages per node stay flat as the network scales.
+* **EXP-CHURN-DUEL** — head-to-head healers under growth-then-massacre:
+  the join wave grows the network, then the hub attack tears it down;
+  the Forgiving Tree keeps both guarantees while the baselines reproduce
+  their signature failures.
+
+Quick mode (for CI smoke runs): set ``CHURN_BENCH_QUICK=1`` to shrink the
+sizes to seconds of runtime.
+"""
+
+import os
+import time
+
+from repro.adversaries import GrowthThenMassacreAdversary, RandomChurnAdversary
+from repro.baselines import (
+    BinaryTreeHealer,
+    ForgivingTreeHealer,
+    LineHealer,
+    SurrogateHealer,
+)
+from repro.graphs import generators
+from repro.harness import churn_duel, report, run_churn_campaign
+
+from benchmarks.conftest import emit
+
+QUICK = os.environ.get("CHURN_BENCH_QUICK", "").strip().lower() not in (
+    "", "0", "false", "no",
+)
+
+SCALE_SIZES = (100, 1000) if QUICK else (100, 1000, 10_000)
+SCALE_EVENTS = (lambda n: max(40, n // 10)) if QUICK else (lambda n: n // 2)
+DUEL_N = 60 if QUICK else 300
+DUEL_GROWTH = 30 if QUICK else 150
+
+
+def run_scale_sweep():
+    rows = []
+    for n0 in SCALE_SIZES:
+        tree = generators.random_tree(n0, seed=1)
+        healer = ForgivingTreeHealer({k: set(v) for k, v in tree.items()})
+        adversary = RandomChurnAdversary(p_insert=0.5, seed=1)
+        events = SCALE_EVENTS(n0)
+        t0 = time.perf_counter()
+        result = run_churn_campaign(
+            healer, adversary, events=events, measure_diameter=False
+        )
+        elapsed = time.perf_counter() - t0
+        rows.append(
+            [
+                n0,
+                events,
+                result.final_alive,
+                result.peak_degree_increase,
+                result.peak_messages_per_node,
+                result.stayed_connected,
+                f"{1e6 * elapsed / max(1, len(result.rounds)):.0f}",
+            ]
+        )
+    return rows
+
+
+def run_churn_duel():
+    tree = generators.random_tree(DUEL_N, seed=7)
+    results = churn_duel(
+        tree,
+        [ForgivingTreeHealer, SurrogateHealer, LineHealer, BinaryTreeHealer],
+        lambda: GrowthThenMassacreAdversary(growth=DUEL_GROWTH, seed=7),
+        events=DUEL_GROWTH + DUEL_N // 2,
+    )
+    return [
+        [
+            name,
+            res.n_inserts,
+            res.n_deletes,
+            res.peak_degree_increase,
+            res.peak_diameter,
+            res.stayed_connected,
+        ]
+        for name, res in sorted(results.items())
+    ]
+
+
+def test_churn_benchmarks(benchmark, capsys):
+    scale_rows = benchmark.pedantic(run_scale_sweep, rounds=1, iterations=1)
+    duel_rows = run_churn_duel()
+
+    # The guarantees hold at every scale sampled.
+    for row in scale_rows:
+        assert row[3] <= 3  # peak degree increase
+        assert row[5] is True  # stayed connected
+    # Messages per node stay flat from n=100 to the largest size.
+    assert scale_rows[-1][4] <= scale_rows[0][4] + 6
+
+    by_name = {r[0]: r for r in duel_rows}
+    assert by_name["forgiving-tree"][3] <= 3
+    assert by_name["forgiving-tree"][5] is True
+    assert by_name["surrogate"][3] > 3  # degree blow-up survives churn
+
+    emit(capsys, report.banner("EXP-CHURN-SCALE  random churn, p_insert=0.5"))
+    emit(
+        capsys,
+        report.format_table(
+            ["n0", "events", "final n", "peak ∆deg", "peak msg/node",
+             "connected", "µs/event"],
+            scale_rows,
+        ),
+    )
+    emit(
+        capsys,
+        report.banner(
+            f"EXP-CHURN-DUEL  growth({DUEL_GROWTH}) then hub massacre on "
+            f"random-tree-{DUEL_N}"
+        ),
+    )
+    emit(
+        capsys,
+        report.format_table(
+            ["healer", "inserts", "deletes", "peak ∆deg", "peak diameter",
+             "connected"],
+            duel_rows,
+        ),
+    )
+
+
+if __name__ == "__main__":
+    # Standalone mode: PYTHONPATH=src python -m benchmarks.bench_churn
+    for banner, rows, headers in (
+        (
+            "EXP-CHURN-SCALE  random churn, p_insert=0.5",
+            run_scale_sweep(),
+            ["n0", "events", "final n", "peak ∆deg", "peak msg/node",
+             "connected", "µs/event"],
+        ),
+        (
+            f"EXP-CHURN-DUEL  growth({DUEL_GROWTH}) then hub massacre",
+            run_churn_duel(),
+            ["healer", "inserts", "deletes", "peak ∆deg", "peak diameter",
+             "connected"],
+        ),
+    ):
+        print(report.banner(banner))
+        print(report.format_table(headers, rows))

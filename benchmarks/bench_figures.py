@@ -13,7 +13,7 @@ from repro import ForgivingTree
 from repro.harness import report
 from tests.conftest import FIG5, FIGURE5_TREE
 
-from .conftest import emit
+from benchmarks.conftest import emit
 
 
 def replay():

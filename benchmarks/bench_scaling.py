@@ -10,7 +10,7 @@ from repro import ForgivingTree
 from repro.graphs import generators
 from repro.harness import report
 
-from .conftest import emit
+from benchmarks.conftest import emit
 
 
 def campaign(n):

@@ -11,7 +11,7 @@ from repro.distributed.setup import distributed_bfs_setup
 from repro.graphs import generators, metrics
 from repro.harness import bounds, report
 
-from .conftest import emit
+from benchmarks.conftest import emit
 
 CASES = [
     ("gnp", lambda n: generators.random_connected_gnp(n, min(1.0, 8 / n), seed=n)),

@@ -15,7 +15,7 @@ from repro.baselines import ForgivingTreeHealer, SurrogateHealer
 from repro.graphs import generators
 from repro.harness import bounds, report, run_campaign
 
-from .conftest import emit
+from benchmarks.conftest import emit
 
 FAMILIES = ["star", "path", "random", "binary", "broom", "caterpillar"]
 ADVERSARIES = {

@@ -12,7 +12,7 @@ from repro.baselines import ForgivingTreeHealer
 from repro.graphs import generators, metrics
 from repro.harness import bounds, report, run_campaign
 
-from .conftest import emit
+from benchmarks.conftest import emit
 
 FAMILIES = ["star", "random", "broom", "caterpillar", "spider", "binary"]
 N = 100

@@ -11,7 +11,7 @@ from repro.distributed import DistributedForgivingTree
 from repro.graphs import generators
 from repro.harness import report
 
-from .conftest import emit
+from benchmarks.conftest import emit
 
 SIZES = (8, 16, 24)  # the distributed runtime's validated envelope
 SEED = 3

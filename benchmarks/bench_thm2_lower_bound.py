@@ -17,7 +17,7 @@ from repro.graphs import generators, metrics
 from repro.graphs.adjacency import is_connected
 from repro.harness import bounds, report
 
-from .conftest import emit
+from benchmarks.conftest import emit
 
 DELTAS = (8, 32, 128, 512)
 HEALERS = (ForgivingTreeHealer, SurrogateHealer, LineHealer, BinaryTreeHealer)

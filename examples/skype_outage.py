@@ -12,15 +12,58 @@ another, comparing three responses:
 * **Forgiving Tree** — stays connected with degree increase <= 3 and the
   diameter within the log-∆ envelope.
 
+Act two replays the full outage as *churn*: a synthetic trace of the 2007
+event (join wave, mass drop-out, login storm) runs through the same three
+healers via the trace-replay adversary — the Forgiving Tree absorbs the
+storm end to end.
+
 Run:  python examples/skype_outage.py
 """
 
-from repro.adversaries import MaxDegreeAdversary
+from repro.adversaries import MaxDegreeAdversary, TraceReplayAdversary
 from repro.baselines import ForgivingTreeHealer, NoRepairHealer, SurrogateHealer
+from repro.churn import synthetic_skype_outage
 from repro.graphs import generators, metrics
 from repro.graphs.adjacency import connected_components
-from repro.harness import run_campaign
+from repro.harness import churn_duel, run_campaign
 from repro.harness.report import format_table
+
+
+def replay_outage_trace() -> None:
+    """Act two: the recorded outage (joins, drop-out wave, login storm)."""
+    overlay, trace = synthetic_skype_outage()
+    print(
+        f"\nreplaying the synthetic outage trace: {trace.n_inserts} joins, "
+        f"{trace.n_deletes} drop-outs over {len(trace)} events\n"
+    )
+    results = churn_duel(
+        overlay,
+        [NoRepairHealer, SurrogateHealer, ForgivingTreeHealer],
+        lambda: TraceReplayAdversary(trace),
+        events=len(trace),
+    )
+    rows = []
+    for name in ("no-repair", "surrogate", "forgiving-tree"):
+        res = results[name]
+        rows.append(
+            [
+                name,
+                res.final_alive,
+                "yes" if res.stayed_connected else "NO",
+                res.peak_degree_increase,
+                res.peak_diameter if res.stayed_connected else "n/a (split)",
+            ]
+        )
+    print(format_table(
+        ["strategy", "final peers", "always connected", "peak +degree",
+         "peak diameter"],
+        rows,
+    ))
+    print(
+        "\nunder real churn — joins included — the Forgiving Tree rides out"
+        "\nthe whole storm: every join lands as a plain leaf, every drop-out"
+        "\nheals locally, and no peer ever gains more than 3 edges."
+    )
 
 
 def main() -> None:
@@ -65,6 +108,7 @@ def main() -> None:
         "\nthe Forgiving Tree keeps every surviving peer reachable with no"
         "\nhot-spot for the adversary to target next — the cascade never starts."
     )
+    replay_outage_trace()
 
 
 if __name__ == "__main__":

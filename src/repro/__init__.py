@@ -22,6 +22,10 @@ Public entry points
 :mod:`repro.harness`
     Attack/heal simulation loops, sweeps and report tables reproducing
     every theorem, figure and claim (see DESIGN.md / EXPERIMENTS.md).
+:mod:`repro.churn`
+    The churn model (The Forgiving Graph, PODC 2009): node insertions as
+    first-class events, recorded traces, and mixed insert/delete
+    campaigns (see docs/CHURN.md).
 """
 
 from .core import (

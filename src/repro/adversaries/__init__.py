@@ -19,9 +19,24 @@ strategies realize the attacks the paper reasons about:
   post-heal max degree increase.
 * :class:`FixedOrderAdversary` / :class:`ScriptedAdversary` — replay a
   given order (used by the figure reproductions).
+
+Churn adversaries (mixed insert/delete streams, the Forgiving Graph
+model) live in :mod:`repro.adversaries.churn`:
+:class:`RandomChurnAdversary`, :class:`GrowthThenMassacreAdversary`,
+:class:`OscillatingChurnAdversary`, :class:`TraceReplayAdversary`, and
+the :class:`DeletionOnlyChurnAdversary` adapter.
 """
 
 from .base import Adversary, FixedOrderAdversary, ScriptedAdversary
+from .churn import (
+    CHURN_ADVERSARY_CATALOG,
+    ChurnAdversary,
+    DeletionOnlyChurnAdversary,
+    GrowthThenMassacreAdversary,
+    OscillatingChurnAdversary,
+    RandomChurnAdversary,
+    TraceReplayAdversary,
+)
 from .simple import (
     CenterAdversary,
     MaxDegreeAdversary,
@@ -48,15 +63,22 @@ ADVERSARY_CATALOG = {
 
 __all__ = [
     "ADVERSARY_CATALOG",
+    "CHURN_ADVERSARY_CATALOG",
     "Adversary",
     "CenterAdversary",
+    "ChurnAdversary",
     "DegreeGreedyAdversary",
+    "DeletionOnlyChurnAdversary",
     "DiameterGreedyAdversary",
     "FixedOrderAdversary",
+    "GrowthThenMassacreAdversary",
     "MaxDegreeAdversary",
     "MinDegreeAdversary",
+    "OscillatingChurnAdversary",
     "RandomAdversary",
+    "RandomChurnAdversary",
     "RootAdversary",
     "ScriptedAdversary",
     "SurrogateKillerAdversary",
+    "TraceReplayAdversary",
 ]

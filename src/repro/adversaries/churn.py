@@ -1,0 +1,262 @@
+"""Churn adversaries: strategies over mixed insert/delete streams.
+
+The churn game (The Forgiving Graph, PODC 2009) lets the omniscient
+adversary *insert* nodes as well as delete them.  A
+:class:`ChurnAdversary` emits one :class:`~repro.churn.ChurnEvent` per
+round after seeing the current healed network:
+
+* :class:`RandomChurnAdversary` — Bernoulli coin per round between a
+  join (fresh node, configurable attachment preference) and a uniform
+  deletion; the baseline churn workload.
+* :class:`GrowthThenMassacreAdversary` — grow the network by a join
+  wave, then hand victim choice to any deletion
+  :class:`~repro.adversaries.base.Adversary` (default: hub-killing) —
+  the "build it up, then tear it down" attack.
+* :class:`OscillatingChurnAdversary` — alternating join and leave
+  phases of fixed length, modeling diurnal churn.
+* :class:`TraceReplayAdversary` — replays a recorded
+  :class:`~repro.churn.ChurnTrace` exactly and fails loudly on an
+  inconsistent trace.
+
+Deletion-only strategies compose: :class:`DeletionOnlyChurnAdversary`
+lifts any classic :class:`Adversary` into the churn interface.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from ..baselines.base import Healer
+from ..churn.events import ChurnEvent, Delete, Insert
+from ..churn.traces import ChurnTrace
+from ..core.errors import ReproError, SimulationOverError
+from .base import Adversary
+from .simple import MaxDegreeAdversary
+
+
+class ChurnAdversary(abc.ABC):
+    """Chooses the next churn event each round (insert or delete).
+
+    Like the deletion adversaries, churn adversaries are omniscient:
+    they see the healed graph before every choice.  Inserted node ids
+    are always fresh — ids are never reused across the whole campaign.
+    """
+
+    name: str = "abstract-churn"
+
+    def __init__(self) -> None:
+        self._next_id: Optional[int] = None
+
+    @abc.abstractmethod
+    def next_event(self, healer: Healer) -> ChurnEvent:
+        """Return the next event (insert target must be alive)."""
+
+    def reset(self) -> None:
+        """Forget any per-campaign state (called between runs)."""
+        self._next_id = None
+
+    def _fresh_id(self, healer: Healer) -> int:
+        """A node id never seen before (monotone counter).
+
+        Seeds from every id the healer has *ever* seen — not just the
+        alive set: if the highest-id node died before the first insert,
+        ``max(alive) + 1`` would re-issue its id."""
+        if self._next_id is None:
+            known = getattr(healer, "known_ids", None) or healer.alive
+            self._next_id = max(known, default=-1) + 1
+        nid = self._next_id
+        self._next_id += 1
+        return nid
+
+
+def _pick_attachment(healer: Healer, rng: random.Random, prefer: str) -> int:
+    """Choose a live attachment point: uniform, hub-seeking, or leaf."""
+    alive = sorted(healer.alive)
+    if not alive:
+        raise SimulationOverError("no live node to attach to")
+    if prefer == "random":
+        return rng.choice(alive)
+    graph = healer.graph()
+    if prefer == "hub":
+        return max(alive, key=lambda x: (len(graph[x]), -x))
+    if prefer == "leaf":
+        return min(alive, key=lambda x: (len(graph[x]), x))
+    raise ValueError(f"unknown attachment preference {prefer!r}")
+
+
+class RandomChurnAdversary(ChurnAdversary):
+    """Coin-flip churn: insert with probability ``p_insert``, else delete
+    a uniform victim.  Forces a join when one node remains so campaigns
+    of any length stay playable."""
+
+    name = "random-churn"
+
+    def __init__(
+        self,
+        p_insert: float = 0.5,
+        seed: int = 0,
+        attach: str = "random",
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= p_insert <= 1.0:
+            raise ValueError("p_insert must be within [0, 1]")
+        self.p_insert = p_insert
+        self.seed = seed
+        self.attach = attach
+        self._rng = random.Random(seed)
+
+    def next_event(self, healer: Healer) -> ChurnEvent:
+        alive = sorted(healer.alive)
+        if not alive:
+            raise SimulationOverError("network is empty")
+        if len(alive) <= 1 or self._rng.random() < self.p_insert:
+            target = _pick_attachment(healer, self._rng, self.attach)
+            return Insert(self._fresh_id(healer), target)
+        return Delete(self._rng.choice(alive))
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self.seed)
+
+
+class GrowthThenMassacreAdversary(ChurnAdversary):
+    """``growth`` joins first, then pure deletions chosen by ``killer``.
+
+    The default killer is the hub attack
+    (:class:`~repro.adversaries.MaxDegreeAdversary`): let the healer
+    integrate a join wave, then test whether the grown structure still
+    heals under the classic overlay attack."""
+
+    name = "growth-then-massacre"
+
+    def __init__(
+        self,
+        growth: int = 50,
+        killer: Optional[Adversary] = None,
+        seed: int = 0,
+        attach: str = "hub",
+    ) -> None:
+        super().__init__()
+        self.growth = growth
+        self.killer = killer if killer is not None else MaxDegreeAdversary()
+        self.seed = seed
+        self.attach = attach
+        self._rng = random.Random(seed)
+        self._joined = 0
+
+    def next_event(self, healer: Healer) -> ChurnEvent:
+        if self._joined < self.growth:
+            self._joined += 1
+            target = _pick_attachment(healer, self._rng, self.attach)
+            return Insert(self._fresh_id(healer), target)
+        return Delete(self.killer.choose(healer))
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self.seed)
+        self._joined = 0
+        self.killer.reset()
+
+
+class OscillatingChurnAdversary(ChurnAdversary):
+    """Joins for ``period`` rounds, leaves for ``period`` rounds, repeat.
+
+    Models diurnal membership swings; the leave phase deletes uniform
+    victims (joining when a leave would empty the network)."""
+
+    name = "oscillating-churn"
+
+    def __init__(self, period: int = 20, seed: int = 0, attach: str = "random"):
+        super().__init__()
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self.seed = seed
+        self.attach = attach
+        self._rng = random.Random(seed)
+        self._tick = 0
+
+    def next_event(self, healer: Healer) -> ChurnEvent:
+        phase_join = (self._tick // self.period) % 2 == 0
+        self._tick += 1
+        alive = sorted(healer.alive)
+        if not alive:
+            raise SimulationOverError("network is empty")
+        if phase_join or len(alive) <= 1:
+            target = _pick_attachment(healer, self._rng, self.attach)
+            return Insert(self._fresh_id(healer), target)
+        return Delete(self._rng.choice(alive))
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self.seed)
+        self._tick = 0
+
+
+class TraceReplayAdversary(ChurnAdversary):
+    """Replays a recorded :class:`~repro.churn.ChurnTrace` exactly.
+
+    Strict like :class:`~repro.adversaries.ScriptedAdversary`: a victim
+    that is already dead or an attachment point that is not alive raises
+    :class:`~repro.core.errors.ReproError` — the trace is part of the
+    experiment's specification."""
+
+    name = "trace-replay"
+
+    def __init__(self, trace: ChurnTrace):
+        super().__init__()
+        self.trace = trace
+        self._pos = 0
+
+    def next_event(self, healer: Healer) -> ChurnEvent:
+        if self._pos >= len(self.trace.events):
+            raise SimulationOverError("trace exhausted")
+        event = self.trace.events[self._pos]
+        self._pos += 1
+        alive = healer.alive
+        if isinstance(event, Delete) and event.nid not in alive:
+            raise ReproError(f"trace victim {event.nid} is already deleted")
+        if isinstance(event, Insert) and event.attach_to not in alive:
+            raise ReproError(
+                f"trace attach point {event.attach_to} is not alive"
+            )
+        return event
+
+    def reset(self) -> None:
+        super().reset()
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.trace.events) - self._pos
+
+
+class DeletionOnlyChurnAdversary(ChurnAdversary):
+    """Lift a classic deletion adversary into the churn interface."""
+
+    name = "deletion-only"
+
+    def __init__(self, inner: Adversary):
+        super().__init__()
+        self.inner = inner
+        self.name = f"deletion-only({inner.name})"
+
+    def next_event(self, healer: Healer) -> ChurnEvent:
+        return Delete(self.inner.choose(healer))
+
+    def reset(self) -> None:
+        super().reset()
+        self.inner.reset()
+
+
+CHURN_ADVERSARY_CATALOG = {
+    cls.name: cls
+    for cls in (
+        RandomChurnAdversary,
+        GrowthThenMassacreAdversary,
+        OscillatingChurnAdversary,
+        TraceReplayAdversary,
+    )
+}

@@ -16,7 +16,7 @@ from __future__ import annotations
 import abc
 from typing import Dict, Optional, Set
 
-from ..core.errors import NodeNotFoundError, SimulationOverError
+from ..core.errors import DuplicateNodeError, NodeNotFoundError, SimulationOverError
 from ..core.events import HealReport
 from ..graphs.adjacency import Graph, copy as copy_graph, degrees
 
@@ -38,6 +38,14 @@ class Healer(abc.ABC):
         """Adversary deletes ``nid``; repair and report."""
 
     @abc.abstractmethod
+    def insert(self, nid: int, attach_to: int) -> HealReport:
+        """A new node ``nid`` joins attached to live ``attach_to``
+        (churn model).  The demanded edge raises both endpoints'
+        baseline degrees — the Forgiving Graph's *ideal graph*
+        convention — so degree increase keeps measuring only
+        heal-induced edges."""
+
+    @abc.abstractmethod
     def graph(self) -> Graph:
         """Current healed network (adjacency)."""
 
@@ -50,6 +58,14 @@ class Healer(abc.ABC):
     @property
     def initial_graph(self) -> Graph:
         return copy_graph(self._initial)
+
+    @property
+    def known_ids(self) -> Set[int]:
+        """Every id ever seen (initial or inserted, alive or dead).
+
+        Ids are never reused, so fresh-id allocation must range above
+        this set, not just above the currently alive one."""
+        return set(self._original_degree)
 
     def original_degree(self, nid: int) -> int:
         return self._original_degree[nid]
@@ -71,6 +87,13 @@ class Healer(abc.ABC):
             raise SimulationOverError("all nodes already deleted")
         if nid not in self.alive:
             raise NodeNotFoundError(nid, "delete")
+        self.rounds += 1
+
+    def _pre_insert(self, nid: int, attach_to: int) -> None:
+        if nid in self._original_degree:  # ids are never reused
+            raise DuplicateNodeError(nid)
+        if attach_to not in self.alive:
+            raise NodeNotFoundError(attach_to, "insert attach point")
         self.rounds += 1
 
 

@@ -57,6 +57,14 @@ class ForgivingTreeHealer(Healer):
             report.edges_removed = frozenset(set(report.edges_removed) | dropped)
         return report
 
+    def insert(self, nid: int, attach_to: int) -> HealReport:
+        nid = int(nid)
+        self._pre_insert(nid, attach_to)
+        report = self.engine.insert(nid, attach_to)
+        self._original_degree[nid] = 1
+        self._original_degree[attach_to] += 1
+        return report
+
     def graph(self) -> Graph:
         adjacency = self.engine.adjacency()
         for u, v in self._extra:

@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import List, Optional, Set
 
 from ..core.errors import NodeNotFoundError
-from ..core.events import HealReport
+from ..core.events import EdgeAdded, HealReport, NodeInserted, edge_key
 from ..graphs.adjacency import (
     Graph,
     add_edge,
@@ -60,6 +60,23 @@ class _GraphHealer(Healer):
         self._repair(nid, neighbors)
         return edge_delta_report(
             nid, before, self._graph, was_internal=len(neighbors) > 1
+        )
+
+    def insert(self, nid: int, attach_to: int) -> HealReport:
+        nid = int(nid)
+        self._pre_insert(nid, attach_to)
+        add_edge(self._graph, nid, attach_to)
+        self._original_degree[nid] = 1
+        self._original_degree[attach_to] += 1
+        return HealReport(
+            deleted=-1,
+            edges_added=frozenset({edge_key(nid, attach_to)}),
+            events=(
+                NodeInserted(nid, attach_to),
+                EdgeAdded(*edge_key(nid, attach_to)),
+            ),
+            inserted=nid,
+            attached_to=attach_to,
         )
 
     def _repair(self, deleted: int, neighbors: List[int]) -> None:

@@ -1,0 +1,33 @@
+"""Churn subsystem: node insertions as first-class events.
+
+The source paper's game only deletes nodes; real peer-to-peer networks
+(the paper's motivating setting) also see joins.  This package carries
+the event vocabulary and trace tooling of the extended game — the model
+of *The Forgiving Graph* (PODC 2009):
+
+* :class:`Insert` / :class:`Delete` — the two churn event kinds.
+* :class:`ChurnTrace` — recorded event sequences with load/save and
+  validation, replayable via
+  :class:`repro.adversaries.TraceReplayAdversary`.
+* :func:`synthetic_skype_outage` — the motivating 2007 outage scenario
+  as a ready-made trace (used by ``examples/skype_outage.py``).
+
+The engines consume these events natively:
+:meth:`repro.core.forgiving_tree.ForgivingTree.insert` places a joiner
+as a real leaf under its attachment point and a fresh slot of its will,
+:meth:`repro.distributed.DistributedForgivingTree.insert` runs the same
+join as a counted message handshake, and every baseline healer accepts
+:meth:`~repro.baselines.base.Healer.insert`.  Campaigns over mixed
+streams run through :func:`repro.harness.run_churn_campaign`.
+"""
+
+from .events import ChurnEvent, Delete, Insert
+from .traces import ChurnTrace, synthetic_skype_outage
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnTrace",
+    "Delete",
+    "Insert",
+    "synthetic_skype_outage",
+]

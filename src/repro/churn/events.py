@@ -1,0 +1,42 @@
+"""Churn events: the Insert/Delete stream the churn model is played over.
+
+The Delete and Repair game of the source paper (Model 2.1) only removes
+nodes.  Its follow-up, *The Forgiving Graph* (Hayes, Saia, Trehan, PODC
+2009), generalizes the adversary to interleaved **insertions and
+deletions**: each round the adversary either deletes a node or inserts a
+new node attached to a live one, and the healer must keep its guarantees
+against the *ideal graph* (the graph with every demanded insertion applied
+and no healing needed).  This module defines that event vocabulary; churn
+adversaries (:mod:`repro.adversaries.churn`) produce streams of these
+events and :func:`repro.harness.run_churn_campaign` consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Insert:
+    """A new node ``nid`` joins, attached to live node ``attach_to``."""
+
+    nid: int
+    attach_to: int
+
+    def describe(self) -> str:
+        return f"insert {self.nid} under {self.attach_to}"
+
+
+@dataclass(frozen=True)
+class Delete:
+    """The adversary deletes live node ``nid``."""
+
+    nid: int
+
+    def describe(self) -> str:
+        return f"delete {self.nid}"
+
+
+#: One round of the churn game.
+ChurnEvent = Union[Insert, Delete]

@@ -1,0 +1,176 @@
+"""Recorded churn traces: load, save, and synthesize them.
+
+A :class:`ChurnTrace` is a finite, fully specified event sequence — the
+deterministic replay format used by
+:class:`repro.adversaries.TraceReplayAdversary`.  Traces serialize to a
+line-oriented text format (one event per line) so recorded campaigns can
+be versioned next to the benchmarks that consume them::
+
+    # comment lines and blanks are ignored
+    ins <nid> <attach_to>
+    del <nid>
+
+:func:`synthetic_skype_outage` generates the motivating scenario of the
+paper's introduction as a churn trace: a P2P overlay growing by joins,
+then the August 2007-style outage wave in which a large fraction of the
+network drops out in a burst, followed by a rejoin flood (the "login
+storm" that made the real outage self-sustaining).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..core.errors import ReproError
+from ..graphs.adjacency import Graph
+from ..graphs.generators import two_level_star
+from .events import ChurnEvent, Delete, Insert
+
+
+@dataclass
+class ChurnTrace:
+    """A named, replayable sequence of churn events."""
+
+    events: List[ChurnEvent] = field(default_factory=list)
+    name: str = "trace"
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def n_inserts(self) -> int:
+        return sum(1 for e in self.events if isinstance(e, Insert))
+
+    @property
+    def n_deletes(self) -> int:
+        return sum(1 for e in self.events if isinstance(e, Delete))
+
+    # -- serialization ----------------------------------------------------
+    def to_lines(self) -> List[str]:
+        out = [f"# churn trace: {self.name} "
+               f"({self.n_inserts} inserts, {self.n_deletes} deletes)"]
+        for event in self.events:
+            if isinstance(event, Insert):
+                out.append(f"ins {event.nid} {event.attach_to}")
+            else:
+                out.append(f"del {event.nid}")
+        return out
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(self.to_lines()) + "\n")
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str], name: str = "trace") -> "ChurnTrace":
+        events: List[ChurnEvent] = []
+        for lineno, raw in enumerate(lines, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if parts[0] == "ins" and len(parts) == 3:
+                events.append(Insert(int(parts[1]), int(parts[2])))
+            elif parts[0] == "del" and len(parts) == 2:
+                events.append(Delete(int(parts[1])))
+            else:
+                raise ReproError(f"bad trace line {lineno}: {line!r}")
+        return cls(events=events, name=name)
+
+    @classmethod
+    def load(cls, path: str) -> "ChurnTrace":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_lines(fh, name=path)
+
+    # -- validation -------------------------------------------------------
+    def validate(self, initial_nodes: Iterable[int]) -> None:
+        """Check the trace is replayable from ``initial_nodes``: every
+        deletion kills a live node, every insertion uses a fresh id and a
+        live attachment point, and the network never empties mid-trace."""
+        alive: Set[int] = set(initial_nodes)
+        ever: Set[int] = set(alive)
+        for i, event in enumerate(self.events):
+            if isinstance(event, Insert):
+                if event.nid in ever:
+                    raise ReproError(f"event {i}: id {event.nid} reused")
+                if event.attach_to not in alive:
+                    raise ReproError(
+                        f"event {i}: attach point {event.attach_to} not alive"
+                    )
+                alive.add(event.nid)
+                ever.add(event.nid)
+            else:
+                if event.nid not in alive:
+                    raise ReproError(f"event {i}: victim {event.nid} not alive")
+                alive.discard(event.nid)
+            if not alive:
+                raise ReproError(f"event {i}: network emptied mid-trace")
+
+
+def synthetic_skype_outage(
+    hubs: int = 8,
+    leaves_per_hub: int = 12,
+    join_wave: int = 30,
+    outage_fraction: float = 0.4,
+    rejoin_fraction: float = 0.75,
+    seed: int = 2007,
+) -> Tuple[Graph, ChurnTrace]:
+    """The 2007 Skype-outage scenario as (initial overlay, churn trace).
+
+    Three phases, mirroring the event's published post-mortems:
+
+    1. **Steady growth** — ``join_wave`` peers join, preferring hubs
+       (each joiner attaches to a random node, weighted by degree).
+    2. **Outage wave** — ``outage_fraction`` of the network drops out in
+       one burst, highest-degree first (the supernodes rebooted first).
+    3. **Login storm** — ``rejoin_fraction`` of the lost population
+       rejoins in a flood, attaching to random survivors.
+
+    The trace is validated before returning, so replaying it against any
+    healer is guaranteed well-formed.
+    """
+    overlay = two_level_star(hubs, leaves_per_hub)
+    rng = random.Random(seed)
+    events: List[ChurnEvent] = []
+    degree: Dict[int, int] = {n: len(s) for n, s in overlay.items()}
+    alive: Set[int] = set(overlay)
+    next_id = max(overlay) + 1
+
+    def weighted_pick() -> int:
+        nodes = sorted(alive)
+        weights = [degree[n] + 1 for n in nodes]
+        return rng.choices(nodes, weights=weights, k=1)[0]
+
+    def join(target: int) -> None:
+        nonlocal next_id
+        events.append(Insert(next_id, target))
+        alive.add(next_id)
+        degree[next_id] = 1
+        degree[target] += 1
+        next_id += 1
+
+    # phase 1: steady growth
+    for _ in range(join_wave):
+        join(weighted_pick())
+
+    # phase 2: the outage wave (hubs first)
+    n_out = int(outage_fraction * len(alive))
+    victims = sorted(alive, key=lambda x: (-degree[x], x))[:n_out]
+    for v in victims:
+        if len(alive) <= 2:
+            break
+        events.append(Delete(v))
+        alive.discard(v)
+        degree.pop(v, None)
+
+    # phase 3: the login storm
+    for _ in range(int(rejoin_fraction * n_out)):
+        join(rng.choice(sorted(alive)))
+
+    trace = ChurnTrace(events=events, name="synthetic-skype-outage")
+    trace.validate(overlay)
+    return overlay, trace

@@ -19,6 +19,7 @@ from .events import (
     HelperDestroyed,
     HelperTransferred,
     LeafWillSent,
+    NodeInserted,
     WillPortionSent,
     edge_key,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "HelperTransferred",
     "InvariantViolationError",
     "LeafWillSent",
+    "NodeInserted",
     "NodeNotFoundError",
     "NodeState",
     "NotATreeError",

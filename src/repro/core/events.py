@@ -45,6 +45,14 @@ class EdgeRemoved:
 
 
 @dataclass(frozen=True)
+class NodeInserted:
+    """A new real node joined the network, attached to a live node."""
+
+    nid: int
+    attached_to: int
+
+
+@dataclass(frozen=True)
 class HelperCreated:
     """A real node began simulating a fresh helper node."""
 
@@ -88,12 +96,13 @@ class LeafWillSent:
 
 @dataclass
 class HealReport:
-    """Everything that happened while healing one deletion.
+    """Everything that happened during one churn round (delete or insert).
 
     Attributes
     ----------
     deleted:
-        The real node removed by the adversary this round.
+        The real node removed by the adversary this round (``-1`` for an
+        insertion round).
     was_internal:
         True if the node had child slots (an RT was deployed).
     edges_added / edges_removed:
@@ -103,6 +112,10 @@ class HealReport:
     messages_per_node:
         Synthesized count of protocol messages each involved node sent
         (events attributed to their acting node).
+    inserted:
+        The node that joined this round (``None`` for a deletion round).
+    attached_to:
+        The live node the inserted node attached to.
     """
 
     deleted: int
@@ -111,6 +124,12 @@ class HealReport:
     edges_removed: FrozenSet[Tuple[int, int]] = frozenset()
     events: tuple = ()
     messages_per_node: dict = field(default_factory=dict)
+    inserted: "int | None" = None
+    attached_to: "int | None" = None
+
+    @property
+    def is_insertion(self) -> bool:
+        return self.inserted is not None
 
     @property
     def total_messages(self) -> int:
@@ -124,6 +143,12 @@ class HealReport:
 
     def describe(self) -> str:
         """One-line human readable summary (used by examples)."""
+        if self.is_insertion:
+            return (
+                f"inserted {self.inserted} under {self.attached_to}: "
+                f"+{len(self.edges_added)} edges, "
+                f"{self.total_messages} msgs (max/node {self.max_messages_per_node})"
+            )
         kind = "internal" if self.was_internal else "leaf"
         return (
             f"deleted {self.deleted} ({kind}): +{len(self.edges_added)} edges, "

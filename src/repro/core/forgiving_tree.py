@@ -34,6 +34,7 @@ from collections import deque
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from .errors import (
+    DuplicateNodeError,
     InvariantViolationError,
     NodeNotFoundError,
     NotATreeError,
@@ -47,6 +48,7 @@ from .events import (
     HelperDestroyed,
     HelperTransferred,
     LeafWillSent,
+    NodeInserted,
     WillPortionSent,
 )
 from .slot_tree import SlotTree
@@ -123,6 +125,7 @@ class ForgivingTree:
             nid: len(neigh) for nid, neigh in adjacency.items()
         }
         self.initial_nodes: Set[int] = set(adjacency)
+        self._ever: Set[int] = set(adjacency)  # ids may never be reused
         self._tally = _Tally()
         self.rounds = 0
         self._build(adjacency)
@@ -277,6 +280,107 @@ class ForgivingTree:
         if self.strict:
             self.check()
         return report
+
+    # ------------------------------------------------------------------
+    # the insertion entry point (churn model, after "The Forgiving Graph")
+    # ------------------------------------------------------------------
+    def insert(self, nid: int, attach_to: int) -> HealReport:
+        """A new node joins the network, attached to live ``attach_to``.
+
+        The joiner becomes a real leaf child of the attachment point's
+        real position and a fresh slot of its will (see
+        :meth:`SlotTree.add` for the placement rule): reconstruction
+        trees deploy over it like over any original child, so the
+        Theorem 1 degree/diameter machinery is preserved.  Following the
+        Forgiving Graph's *ideal graph* convention, the demanded edge
+        raises both endpoints' baseline degrees — degree *increase*
+        keeps measuring only heal-induced edges.
+
+        Node ids are never reused: inserting an id that ever existed
+        raises :class:`DuplicateNodeError`.
+
+        The synthesized message tally mirrors the distributed INSERT
+        handshake exactly (request, optional leaf-will retraction, ack,
+        O(1) will-portion refreshes, the joiner's leaf-will deposit) so
+        the two runtimes can be cross-checked per insertion.
+        """
+        nid = int(nid)
+        if nid in self._ever:
+            raise DuplicateNodeError(nid)
+        if attach_to not in self._vt:
+            raise NodeNotFoundError(attach_to, "insert attach point")
+        self._events = []
+        self._vt.recorder = self._events.append
+        self._tally = _Tally()
+        self._events.append(NodeInserted(nid, attach_to))
+
+        parent = self._vt.real(attach_to)
+        self._tally.send(nid, 1)  # join request to the attachment point
+        if not parent.children and self._leaf_will_holder(parent) is not None:
+            # The attachment point stops being a tree leaf: it retracts
+            # the leaf will it had deposited.
+            self._tally.send(attach_to, 1)
+
+        node = self._vt.add_real(nid)
+        self._vt.attach(node, parent)
+        self._ever.add(nid)
+        self._wills[nid] = SlotTree([], branching=self.branching)
+        will = self._wills[attach_to]
+        delta = will.add(nid)
+        self._tally.send(attach_to, 1)  # join ack (parent-link handshake)
+
+        # O(1) portion refreshes: the slots the placement touched, plus
+        # the heir and the SubRT root whose portions embed cross-refs.
+        targets = set(delta.touched)
+        if will.heir is not None:
+            targets.add(will.heir)
+        targets.add(will.root_sim())
+        for t in sorted(s for s in targets if s in will):
+            self._events.append(WillPortionSent(attach_to, t))
+            self._tally.send(attach_to, 1)
+
+        # The joiner is a tree leaf: it deposits its (empty) leaf will.
+        self._events.append(LeafWillSent(nid, attach_to))
+        self._tally.send(nid, 1)
+
+        self.original_degree[nid] = 1
+        self.original_degree[attach_to] += 1
+        self.rounds += 1
+
+        added = frozenset(e.key() for e in self._events if isinstance(e, EdgeAdded))
+        report = HealReport(
+            deleted=-1,
+            was_internal=False,
+            edges_added=added,
+            edges_removed=frozenset(),
+            events=tuple(self._events),
+            messages_per_node=dict(self._tally.sent),
+            inserted=nid,
+            attached_to=attach_to,
+        )
+        if self.strict:
+            self.check()
+        return report
+
+    def _leaf_will_holder(self, real: VTReal) -> Optional[int]:
+        """Where a tree leaf's leaf will is deposited (None: nowhere).
+
+        Mirrors the distributed holder rule: the owner of the nearest
+        ancestor position answering as a *different* node, falling back
+        to a surviving sibling under the node's own root helper.
+        """
+        vt = self._vt
+        pos = real.parent
+        while pos is not None and vt.owner(pos) == real.nid:
+            pos = pos.parent
+        if pos is not None:
+            return vt.owner(pos)
+        role = vt.role_of(real.nid)
+        if role is not None:
+            for child in role.children:
+                if vt.owner(child) != real.nid:
+                    return vt.owner(child)
+        return None
 
     # ------------------------------------------------------------------
     # FixNodeDeletion (Algorithm 3.3 + makeRT 3.8 + MakeHelper 3.9)

@@ -131,6 +131,10 @@ def check_full(
         check_diameter_bound(ft, original_diameter, max_degree)
 
 
+#: Alias: "check all invariants" (used by the churn property tests).
+check_all = check_full
+
+
 def _exact_diameter(adjacency: Dict[int, Set[int]]) -> int:
     best = 0
     for source in adjacency:

@@ -35,6 +35,7 @@ per operation, which the test-suite asserts.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
@@ -117,6 +118,28 @@ class ReplaceDelta:
 
     was_heir: bool
     had_internal: bool
+    touched: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class AddDelta:
+    """What changed when a new leaf slot was inserted (churn model).
+
+    Attributes
+    ----------
+    became_heir:
+        The will was empty, so the new stand-in is the (only) heir.
+    paired_with:
+        The existing leaf the new slot was paired with under a fresh
+        internal position (``None`` when the will was empty or the new
+        leaf filled a spare internal arity slot, b > 2 only).
+    touched:
+        Stand-ins whose will portion changed and must be retransmitted
+        (always O(1) of them, the Theorem 1.3 property insertions keep).
+    """
+
+    became_heir: bool = False
+    paired_with: Optional[int] = None
     touched: Tuple[int, ...] = ()
 
 
@@ -377,6 +400,63 @@ class SlotTree:
         return ReplaceDelta(
             was_heir=was_heir,
             had_internal=had_internal,
+            touched=tuple(dict.fromkeys(t for t in touched if t in self._leaves)),
+        )
+
+    def add(self, stand_in: int) -> AddDelta:
+        """Insert a new leaf slot positionally (the churn model's join).
+
+        Placement rule: the new leaf pairs with a *shallowest* existing
+        leaf under a fresh internal position whose simulator is the new
+        stand-in itself — a fresh stand-in holds no internal assignment
+        and is never the heir, so every slot-tree invariant survives with
+        no re-keying.  For ``branching > 2`` an underfull internal
+        position encountered first (level order) absorbs the leaf
+        directly.  Attaching at minimum depth keeps the tree within one
+        level of balanced, preserving the ``O(log d)`` depth Theorem 1.2
+        leans on; the touched-portion delta stays O(1).
+        """
+        if stand_in in self._leaves:
+            raise DuplicateNodeError(stand_in)
+        leaf = _Leaf(stand_in)
+        self._leaves[stand_in] = leaf
+
+        if self._root is None:
+            self._root = leaf
+            self._heir = stand_in
+            return AddDelta(became_heir=True, touched=(stand_in,))
+
+        # Level-order scan: first spare internal slot (b > 2) or first
+        # (= shallowest) leaf wins.
+        queue: deque[_Pos] = deque([self._root])
+        target: _Pos = self._root
+        while queue:
+            pos = queue.popleft()
+            if isinstance(pos, _Leaf) or len(pos.children) < self.branching:
+                target = pos
+                break
+            queue.extend(pos.children)
+
+        touched: List[int] = [stand_in]
+        if isinstance(target, _Internal):
+            target.children.append(leaf)
+            leaf.parent = target
+            touched.extend(self._around(target))
+            return AddDelta(
+                touched=tuple(dict.fromkeys(t for t in touched if t in self._leaves))
+            )
+
+        grand = target.parent
+        node = _Internal(stand_in, [target, leaf])
+        node.parent = grand
+        if grand is None:
+            self._root = node
+        else:
+            grand.children[grand.children.index(target)] = node
+        self._internal_by_sim[stand_in] = node
+        touched.extend(self._around(node))
+        return AddDelta(
+            paired_with=target.stand_in,
             touched=tuple(dict.fromkeys(t for t in touched if t in self._leaves)),
         )
 

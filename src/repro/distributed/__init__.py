@@ -1,6 +1,16 @@
 """Distributed runtime: the message-level Forgiving Tree and setup phase."""
 
-from .messages import Deleted, LeafWillMsg, Message, ReplaceChild, SimChange, WillPortionMsg
+from .messages import (
+    Deleted,
+    InsertAck,
+    InsertRequest,
+    LeafWillMsg,
+    LeafWillRetract,
+    Message,
+    ReplaceChild,
+    SimChange,
+    WillPortionMsg,
+)
 from .network import Network, RoundStats
 from .node import LeafWill, Portion, ProtocolNode, Role
 from .protocol import DistributedForgivingTree
@@ -8,8 +18,11 @@ from .protocol import DistributedForgivingTree
 __all__ = [
     "Deleted",
     "DistributedForgivingTree",
+    "InsertAck",
+    "InsertRequest",
     "LeafWill",
     "LeafWillMsg",
+    "LeafWillRetract",
     "Message",
     "Network",
     "Portion",

@@ -141,3 +141,34 @@ class RemoveHChild(Message):
 
     def id_count(self) -> int:
         return 3
+
+
+@dataclass(frozen=True)
+class InsertRequest(Message):
+    """Churn model: a joining node asks a live node to adopt it as a new
+    child slot (the INSERT handshake's first half)."""
+
+    child_ref: Ref
+
+    def id_count(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class InsertAck(Message):
+    """Churn model: the attachment point confirms adoption and hands the
+    joiner its parent link (the INSERT handshake's second half)."""
+
+    parent_ref: Ref
+
+    def id_count(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class LeafWillRetract(Message):
+    """'I stopped being a tree leaf (a node joined under me): discard the
+    leaf will I deposited with you.'"""
+
+    def id_count(self) -> int:
+        return 2

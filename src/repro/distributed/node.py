@@ -37,7 +37,10 @@ from .messages import (
     AnchorIs,
     ChildHello,
     Deleted,
+    InsertAck,
+    InsertRequest,
     LeafWillMsg,
+    LeafWillRetract,
     Message,
     Ref,
     RemoveHChild,
@@ -118,6 +121,7 @@ class ProtocolNode:
         # round bookkeeping --------------------------------------------------
         self.pending: Set[Tuple[int, str]] = set()
         self._leafwill_sent_to: Optional[Tuple[Optional[Ref], str]] = None
+        self._leafwill_holder: Optional[int] = None
 
     # ------------------------------------------------------------------
     # local views
@@ -177,6 +181,17 @@ class ProtocolNode:
                 if others:
                     holder = others[0][0]
         if holder is None:
+            # My deposit location vanished (e.g. my own helper became the
+            # virtual root): retract the stale copy so the tracked holder
+            # always matches the state-derived rule.
+            if self._leafwill_holder is not None:
+                self._send(
+                    LeafWillRetract(
+                        sender=self.nid, recipient=self._leafwill_holder
+                    )
+                )
+                self._leafwill_holder = None
+                self._leafwill_sent_to = None
             return
         role = self.role
         lw_state = (
@@ -186,6 +201,7 @@ class ProtocolNode:
         if self._leafwill_sent_to == lw_state:
             return
         self._leafwill_sent_to = lw_state
+        self._leafwill_holder = holder
         self._send(
             LeafWillMsg(
                 sender=self.nid,
@@ -326,8 +342,39 @@ class ProtocolNode:
             self._on_remove_hchild(message)
         elif isinstance(message, ChildHello):
             pass  # edge establishment; both sides already know from wills
+        elif isinstance(message, InsertRequest):
+            self._on_insert_request(message)
+        elif isinstance(message, InsertAck):
+            self.parent_ref = message.parent_ref
+        elif isinstance(message, LeafWillRetract):
+            self.leaf_wills.pop(message.sender, None)
         else:  # pragma: no cover - defensive
             raise ProtocolError(f"{self.nid}: unknown message {message!r}")
+
+    # ------------------------------------------------------------------
+    # insertion handling (churn model)
+    # ------------------------------------------------------------------
+    def _on_insert_request(self, msg: InsertRequest) -> None:
+        """Adopt the joining node as a fresh child slot of my will.
+
+        I stop being a tree leaf, so any deposited leaf will is retracted
+        first; the joiner gets an ack carrying its parent link, and the
+        O(1) will portions the new slot touched are retransmitted."""
+        new = msg.child_ref[0]
+        if new in self.will:
+            raise ProtocolError(f"{self.nid}: duplicate insert of {new}")
+        if self.is_tree_leaf and self._leafwill_holder is not None:
+            self._send(
+                LeafWillRetract(sender=self.nid, recipient=self._leafwill_holder)
+            )
+            self._leafwill_holder = None
+            self._leafwill_sent_to = None
+        delta = self.will.add(new)
+        self.slot_kind[new] = msg.child_ref[1]
+        self._send(
+            InsertAck(sender=self.nid, recipient=new, parent_ref=(self.nid, REAL))
+        )
+        self._refresh_after_will_change(delta)
 
     # ------------------------------------------------------------------
     # deletion handling
@@ -379,6 +426,7 @@ class ProtocolNode:
             and role.is_ready_heir
         )
         anchor: Optional[Ref] = None
+        bypassed_vacuous = False
         if bypassing:
             # I was a ready heir standing in for a previously healed slot:
             # bypass my helper; its child is the slot's real occupant.
@@ -387,8 +435,10 @@ class ProtocolNode:
             self.role = None
             if anchor == (self.nid, REAL):
                 # Vacuous ready heir (its only child was my own real
-                # position): nothing to broker — re-attach normally.
+                # position): nothing to broker — re-attach normally and
+                # fall through to the direct-claim flows below.
                 anchor = None
+                bypassed_vacuous = True
                 if portion.next_parent is not None:
                     self.parent_ref = portion.next_parent
                 else:
@@ -445,14 +495,22 @@ class ProtocolNode:
                     hparent=portion.next_hparent,
                     hchildren=inherited,
                 )
+                if self.parent_ref == (v, HELPER):
+                    # v's real position hung below its own helper
+                    # (own-helper-skip) and I inherited that helper with
+                    # my real position below it: my parent link mirrors
+                    # the inherited hparent, as everywhere else.
+                    self.parent_ref = portion.next_hparent
                 if (
                     not substituted
                     and portion.root_sim is None
-                    and not bypassing
+                    and (not bypassing or bypassed_vacuous)
                     and portion.top_parent is not None
                 ):
                     # d == 1 and v's real position sat elsewhere: my real
-                    # position takes its slot — claim it.
+                    # position takes its slot — claim it.  (A vacuously
+                    # bypassed heir reduces to this case: its real
+                    # position moved up into its dissolved helper's spot.)
                     self._send(
                         ReplaceChild(
                             sender=self.nid,

@@ -12,10 +12,15 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..core.errors import NodeNotFoundError, ProtocolError, SimulationOverError
+from ..core.errors import (
+    DuplicateNodeError,
+    NodeNotFoundError,
+    ProtocolError,
+    SimulationOverError,
+)
 from ..core.forgiving_tree import _as_adjacency, _check_is_tree
 from ..core.slot_tree import SlotTree
-from .messages import REAL, Deleted
+from .messages import REAL, Deleted, InsertRequest
 from .network import Network, RoundStats
 from .node import ProtocolNode
 
@@ -39,6 +44,7 @@ class DistributedForgivingTree:
         self.original_degree: Dict[int, int] = {
             n: len(neigh) for n, neigh in adjacency.items()
         }
+        self._ever: Set[int] = set(adjacency)  # ids may never be reused
         self.rounds = 0
         self._build(adjacency)
 
@@ -104,6 +110,36 @@ class DistributedForgivingTree:
             self.network.send(
                 Deleted(sender=nid, recipient=neighbor, victim=nid)
             )
+        stats = self.network.run_round(self.rounds)
+        self._check_quiescent()
+        return stats
+
+    def insert(self, nid: int, attach_to: int) -> RoundStats:
+        """A new node joins under live ``attach_to`` (churn model).
+
+        The joiner registers with the network and runs the INSERT
+        handshake as real counted messages: request, (optional leaf-will
+        retraction by the attachment point), ack + O(1) will-portion
+        refreshes, and the joiner's leaf-will deposit.  Node ids are
+        never reused, matching the sequential engine.
+        """
+        nid = int(nid)
+        if nid in self._ever:
+            raise DuplicateNodeError(nid)
+        if attach_to not in self.network:
+            raise NodeNotFoundError(attach_to, "insert attach point")
+        self.rounds += 1
+        node = ProtocolNode(nid)
+        self.network.register(node)
+        self._ever.add(nid)
+        self.original_degree[nid] = 1
+        self.original_degree[attach_to] += 1
+        self.network.begin_round(self.rounds)
+        self.network.send(
+            InsertRequest(
+                sender=nid, recipient=attach_to, child_ref=(nid, REAL)
+            )
+        )
         stats = self.network.run_round(self.rounds)
         self._check_quiescent()
         return stats

@@ -1,13 +1,22 @@
 """Experiment harness: campaigns, sweeps, bounds and report tables."""
 
 from . import bounds, report
-from .experiment import CampaignResult, RoundRecord, duel, run_campaign
+from .experiment import (
+    CampaignResult,
+    RoundRecord,
+    churn_duel,
+    duel,
+    run_campaign,
+    run_churn_campaign,
+)
 
 __all__ = [
     "CampaignResult",
     "RoundRecord",
     "bounds",
+    "churn_duel",
     "duel",
     "report",
     "run_campaign",
+    "run_churn_campaign",
 ]

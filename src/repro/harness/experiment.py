@@ -3,7 +3,10 @@
 A *campaign* plays the Delete and Repair game: an adversary picks victims,
 a healer repairs, and we record the paper's success metrics each round
 (Model 2.1): max degree increase, diameter (and stretch), connectivity, and
-communication.  Campaigns power every benchmark table.
+communication.  :func:`run_churn_campaign` plays the extended churn game
+(the Forgiving Graph model): the adversary emits a mixed insert/delete
+stream and the per-round records additionally track alive-set growth.
+Campaigns power every benchmark table.
 """
 
 from __future__ import annotations
@@ -12,7 +15,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..adversaries.base import Adversary
+from ..adversaries.churn import ChurnAdversary
 from ..baselines.base import Healer
+from ..churn.events import Delete, Insert
 from ..core.errors import SimulationOverError
 from ..graphs.adjacency import Graph, is_connected, max_degree
 from ..graphs.metrics import diameter_double_sweep, diameter_exact
@@ -20,7 +25,11 @@ from ..graphs.metrics import diameter_double_sweep, diameter_exact
 
 @dataclass
 class RoundRecord:
-    """Metrics after one deletion + heal."""
+    """Metrics after one churn event (deletion + heal, or insertion).
+
+    ``deleted`` is ``-1`` on insertion rounds; ``inserted`` is ``None``
+    on deletion rounds; ``event`` names the kind either way.
+    """
 
     round: int
     deleted: int
@@ -31,6 +40,8 @@ class RoundRecord:
     edges_added: int
     total_messages: int
     max_messages_per_node: int
+    event: str = "delete"
+    inserted: Optional[int] = None
 
 
 @dataclass
@@ -65,6 +76,24 @@ class CampaignResult:
     @property
     def peak_messages_per_node(self) -> int:
         return max((r.max_messages_per_node for r in self.rounds), default=0)
+
+    # -- churn-campaign views ---------------------------------------------
+    @property
+    def n_inserts(self) -> int:
+        return sum(1 for r in self.rounds if r.event == "insert")
+
+    @property
+    def n_deletes(self) -> int:
+        return sum(1 for r in self.rounds if r.event == "delete")
+
+    @property
+    def final_alive(self) -> int:
+        return self.rounds[-1].alive if self.rounds else self.n0
+
+    @property
+    def net_growth(self) -> int:
+        """Alive-set change over the whole campaign (can be negative)."""
+        return self.final_alive - self.n0
 
     def series(self, attr: str) -> List:
         """Extract one column as a list (for figure-style output)."""
@@ -154,6 +183,93 @@ def duel(
             healer,
             adversary_factory(),
             rounds=rounds,
+            exact_diameter=exact_diameter,
+        )
+        out[result.healer_name] = result
+    return out
+
+
+def run_churn_campaign(
+    healer: Healer,
+    adversary: ChurnAdversary,
+    events: int,
+    measure_diameter: bool = True,
+    exact_diameter: bool = False,
+    on_round: Optional[Callable[[RoundRecord, Healer], None]] = None,
+) -> CampaignResult:
+    """Play the churn game: a mixed insert/delete stream against one healer.
+
+    Each round the adversary emits an :class:`~repro.churn.Insert` or a
+    :class:`~repro.churn.Delete` after seeing the healed graph; the healer
+    applies it; the record tracks the usual success metrics plus alive-set
+    growth.  Stops early when the adversary runs out of events
+    (:class:`SimulationOverError`) or the network empties.
+    """
+    initial = healer.graph()
+    n0 = len(initial)
+    result = CampaignResult(
+        healer_name=healer.name,
+        adversary_name=adversary.name,
+        n0=n0,
+        initial_diameter=diameter_exact(initial) if n0 > 1 else 0,
+        initial_max_degree=max_degree(initial),
+    )
+    adversary.reset()
+    for t in range(events):
+        if not healer.alive:
+            break
+        try:
+            event = adversary.next_event(healer)
+            if isinstance(event, Insert):
+                report = healer.insert(event.nid, event.attach_to)
+            else:
+                assert isinstance(event, Delete)
+                report = healer.delete(event.nid)
+        except SimulationOverError:
+            break
+        graph = healer.graph()
+        connected = is_connected(graph)
+        diameter: Optional[int] = None
+        if measure_diameter and connected and len(graph) > 1:
+            diameter = (
+                diameter_exact(graph)
+                if exact_diameter
+                else diameter_double_sweep(graph)
+            )
+        record = RoundRecord(
+            round=t + 1,
+            deleted=report.deleted,
+            alive=len(graph),
+            max_degree_increase=healer.max_degree_increase(),
+            diameter=diameter,
+            connected=connected,
+            edges_added=len(report.edges_added),
+            total_messages=report.total_messages,
+            max_messages_per_node=report.max_messages_per_node,
+            event="insert" if report.is_insertion else "delete",
+            inserted=report.inserted,
+        )
+        result.rounds.append(record)
+        if on_round is not None:
+            on_round(record, healer)
+    return result
+
+
+def churn_duel(
+    graph: Graph,
+    healers: Sequence[Callable[[Graph], Healer]],
+    adversary_factory: Callable[[], ChurnAdversary],
+    events: int,
+    exact_diameter: bool = False,
+) -> Dict[str, CampaignResult]:
+    """Run the same churn stream against several healers on the same graph."""
+    out: Dict[str, CampaignResult] = {}
+    for factory in healers:
+        healer = factory({k: set(v) for k, v in graph.items()})
+        result = run_churn_campaign(
+            healer,
+            adversary_factory(),
+            events=events,
             exact_diameter=exact_diameter,
         )
         out[result.healer_name] = result

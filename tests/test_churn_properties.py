@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) for the churn subsystem.
+
+The churn game's guarantees must hold after *any* interleaving of
+insertions and deletions: the image graph stays connected, no node's
+degree grows by more than 3 beyond its ideal-graph baseline (binary
+case; ``branching + 1`` generally), and every structural invariant
+(``invariants.check_all``) passes continuously.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro import ForgivingTree
+from repro.core import invariants
+from repro.core.slot_tree import SlotTree
+from repro.graphs import generators
+from repro.graphs.adjacency import is_connected
+
+#: One drawn churn step: (is_insert, pick) — ``pick`` indexes into the
+#: current alive set (victim or attachment point) modulo its size.
+steps = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=10**6)),
+    min_size=1,
+    max_size=60,
+)
+
+
+def play(ft: ForgivingTree, script, check_every=1):
+    """Interpret a drawn script against an engine, checking continuously."""
+    nxt = 10_000
+    for i, (is_insert, pick) in enumerate(script):
+        alive = sorted(ft.alive)
+        if len(alive) <= 1:
+            is_insert = True
+        target = alive[pick % len(alive)]
+        if is_insert:
+            ft.insert(nxt, target)
+            nxt += 1
+        else:
+            ft.delete(target)
+        if i % check_every == 0:
+            assert is_connected(ft.adjacency())
+            assert ft.max_degree_increase() <= ft.branching + 1
+            invariants.check_all(ft)
+
+
+class TestChurnProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6), script=steps)
+    def test_any_interleaving_keeps_guarantees(self, seed, script):
+        tree = generators.random_tree(2 + seed % 15, seed=seed)
+        ft = ForgivingTree(tree, strict=False)
+        play(ft, script)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6), script=steps)
+    def test_generalized_branching_keeps_guarantees(self, seed, script):
+        tree = generators.random_tree(2 + seed % 12, seed=seed)
+        ft = ForgivingTree(tree, branching=3, strict=False)
+        play(ft, script)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        initial=st.lists(
+            st.integers(min_value=0, max_value=10**4),
+            min_size=0,
+            max_size=12,
+            unique=True,
+        ),
+        script=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=10**6)),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    def test_slot_tree_survives_any_add_remove_mix(self, initial, script):
+        stree = SlotTree(initial)
+        nxt = 100_000
+        for is_add, pick in script:
+            if not stree:
+                is_add = True
+            if is_add:
+                stree.add(nxt)
+                nxt += 1
+            else:
+                stree.remove(stree.stand_ins[pick % len(stree)])
+            stree.check()

@@ -2,9 +2,9 @@
 against the sequential engine, and the Theorem 1.3 communication bounds.
 
 The cross-validation envelope: scripted scenarios of any shape plus random
-trees with random full-deletion campaigns up to n = 24 (see DESIGN.md §6 —
-larger deep-state corner cases of the message-level refinement remain open;
-the sequential engine is the reference)."""
+trees with random full-deletion campaigns up to n = 24.  Every sampled
+seed passes since the own-helper-skip inheritance and vacuous-bypass claim
+fixes; churn campaigns cross-validate in test_churn.py."""
 
 import random
 
@@ -73,12 +73,11 @@ class TestCrossValidation:
     def test_path_orders(self):
         cross_validate(generators.path(8), [3, 4, 2, 5, 1, 6, 0, 7])
 
-    #: Verified seeds — the message-level refinement passes ~90% of
-    #: arbitrary random campaigns; residual deep-state corner cases are
-    #: documented in DESIGN.md §6 (the sequential engine is the reference).
-    @pytest.mark.parametrize(
-        "seed", [0, 1, 2, 3, 4, 7, 9, 10, 11, 12, 13, 14, 15, 17, 18, 19]
-    )
+    #: All seeds pass since the own-helper-skip inheritance and
+    #: vacuous-bypass claim fixes (found by the churn cross-validation);
+    #: the formerly excluded deep-state corner cases (5, 6, 8, 16) are
+    #: exactly the states those fixes repair.
+    @pytest.mark.parametrize("seed", range(25))
     def test_random_trees_random_orders(self, seed):
         rng = random.Random(seed)
         n = rng.randint(2, 24)

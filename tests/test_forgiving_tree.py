@@ -2,6 +2,7 @@
 
 import pytest
 
+from tests.conftest import run_full_campaign
 from repro import ForgivingTree
 from repro.core.errors import (
     NodeNotFoundError,
@@ -79,8 +80,6 @@ class TestStarDeletion:
 class TestFullCampaigns:
     @pytest.mark.parametrize("family", ["star", "path", "random", "binary", "broom"])
     def test_every_family_survives_random_order(self, family):
-        from .conftest import run_full_campaign
-
         tree = generators.TREE_FAMILIES[family](40, 5)
         ft = run_full_campaign(tree, seed=11)
         assert len(ft) == 0
@@ -97,8 +96,6 @@ class TestFullCampaigns:
             assert ft.max_degree_increase() <= 3
 
     def test_rebuild_mode_matches_splice_guarantees(self):
-        from .conftest import run_full_campaign
-
         tree = generators.random_tree(40, seed=9)
         ft = run_full_campaign(tree, seed=2, will_mode="rebuild")
         assert len(ft) == 0
