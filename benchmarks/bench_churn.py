@@ -1,6 +1,6 @@
 """EXP-CHURN — healers under mixed insert/delete streams (the churn game).
 
-Two experiments:
+Three experiments:
 
 * **EXP-CHURN-SCALE** — the Forgiving Tree under a random churn stream at
   n0 up to 10k: per-event wall time, peak degree increase, and peak
@@ -9,22 +9,40 @@ Two experiments:
   the join wave grows the network, then the hub attack tears it down;
   the Forgiving Tree keeps both guarantees while the baselines reproduce
   their signature failures.
+* **EXP-METRICS-SCALING** — per-round diameter measurement cost, full
+  BFS (double sweep, O(m)/round; ``diameter_exact`` is O(n·m) and is
+  already unaffordable at these sizes) vs the incremental engine
+  (O(depth)/round), on the same churn stream at n up to 20k.  The two
+  values are cross-checked every round: equal whenever the overlay is a
+  tree; with heal chords the incremental value brackets from above what
+  the sweep brackets from below.
+
+Results are also dumped to ``benchmarks/out/BENCH_churn.json`` so CI can
+archive the trajectory as a workflow artifact.
 
 Quick mode (for CI smoke runs): set ``CHURN_BENCH_QUICK=1`` to shrink the
 sizes to seconds of runtime.
 """
 
+import json
 import os
 import time
 
-from repro.adversaries import GrowthThenMassacreAdversary, RandomChurnAdversary
+from repro.adversaries import (
+    GrowthThenMassacreAdversary,
+    RandomChurnAdversary,
+    WaveChurnAdversary,
+)
 from repro.baselines import (
     BinaryTreeHealer,
     ForgivingTreeHealer,
     LineHealer,
     SurrogateHealer,
 )
+from repro.churn import Insert, InsertWave
 from repro.graphs import generators
+from repro.graphs.incremental import DynamicTreeMetrics
+from repro.graphs.metrics import diameter_double_sweep
 from repro.harness import churn_duel, report, run_churn_campaign
 
 from benchmarks.conftest import emit
@@ -37,6 +55,9 @@ SCALE_SIZES = (100, 1000) if QUICK else (100, 1000, 10_000)
 SCALE_EVENTS = (lambda n: max(40, n // 10)) if QUICK else (lambda n: n // 2)
 DUEL_N = 60 if QUICK else 300
 DUEL_GROWTH = 30 if QUICK else 150
+METRICS_SIZES = (200, 1000) if QUICK else (1000, 5000, 10_000, 20_000)
+METRICS_ROUNDS = 60 if QUICK else 200
+OUT_PATH = os.path.join(os.path.dirname(__file__), "out", "BENCH_churn.json")
 
 
 def run_scale_sweep():
@@ -86,9 +107,102 @@ def run_churn_duel():
     ]
 
 
+def run_metrics_scaling():
+    """Per-round diameter measurement: full-BFS sweep vs incremental.
+
+    Both are driven by the same churn stream over the same engine; the
+    shared per-round cost (applying the event, materializing the image)
+    is excluded from both timers so the rows isolate measurement cost.
+    """
+    rows = []
+    for n in METRICS_SIZES:
+        tree = generators.random_tree(n, seed=2)
+        engine = ForgivingTreeHealer({k: set(v) for k, v in tree.items()}).engine
+        tracker = DynamicTreeMetrics(tree)
+        adversary = RandomChurnAdversary(p_insert=0.5, seed=2)
+        adversary.reset()
+
+        class _Shim:
+            """Just enough healer surface for the adversary."""
+
+            alive = property(lambda self: engine.alive)
+            known_ids = property(lambda self: set(engine.original_degree))
+
+            def graph(self):
+                return engine.adjacency()
+
+        shim = _Shim()
+        t_sweep = t_inc = 0.0
+        agree = brackets = 0
+        for _ in range(METRICS_ROUNDS):
+            event = adversary.next_event(shim)
+            if isinstance(event, Insert):
+                rep = engine.insert(event.nid, event.attach_to)
+            else:
+                rep = engine.delete(event.nid)
+            image = engine.adjacency()
+
+            t0 = time.perf_counter()
+            d_sweep = diameter_double_sweep(image, seed=2)
+            t_sweep += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            tracker.apply_report(rep)
+            d_inc = tracker.diameter
+            t_inc += time.perf_counter() - t0
+
+            if d_inc == d_sweep:
+                agree += 1
+            assert d_sweep <= d_inc, "brackets inverted"
+            if tracker.is_exact:
+                assert d_inc == d_sweep, "exact mode must match the sweep"
+            brackets += 1
+        speedup = t_sweep / t_inc if t_inc else float("inf")
+        rows.append(
+            [
+                n,
+                METRICS_ROUNDS,
+                f"{1e6 * t_sweep / METRICS_ROUNDS:.0f}",
+                f"{1e6 * t_inc / METRICS_ROUNDS:.0f}",
+                f"{speedup:.1f}x",
+                f"{100 * agree / brackets:.0f}%",
+            ]
+        )
+    return rows
+
+
+def _dump_json(scale_rows, duel_rows, metrics_rows):
+    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+    with open(OUT_PATH, "w") as fh:
+        json.dump(
+            {
+                "quick": QUICK,
+                "scale": {
+                    "headers": ["n0", "events", "final_n", "peak_ddeg",
+                                "peak_msg_node", "connected", "us_per_event"],
+                    "rows": scale_rows,
+                },
+                "duel": {
+                    "headers": ["healer", "inserts", "deletes", "peak_ddeg",
+                                "peak_diameter", "connected"],
+                    "rows": duel_rows,
+                },
+                "metrics_scaling": {
+                    "headers": ["n", "rounds", "us_sweep", "us_incremental",
+                                "speedup", "agreement"],
+                    "rows": metrics_rows,
+                },
+            },
+            fh,
+            indent=2,
+            default=str,
+        )
+
+
 def test_churn_benchmarks(benchmark, capsys):
     scale_rows = benchmark.pedantic(run_scale_sweep, rounds=1, iterations=1)
     duel_rows = run_churn_duel()
+    metrics_rows = run_metrics_scaling()
 
     # The guarantees hold at every scale sampled.
     for row in scale_rows:
@@ -101,6 +215,16 @@ def test_churn_benchmarks(benchmark, capsys):
     assert by_name["forgiving-tree"][3] <= 3
     assert by_name["forgiving-tree"][5] is True
     assert by_name["surrogate"][3] > 3  # degree blow-up survives churn
+
+    # The incremental engine wins by >= 5x (the acceptance bar is at
+    # n=10k, where it wins by ~47x).  Only sizes with millisecond-scale
+    # sweeps are asserted — at n=200 the per-round timings are single
+    # microseconds and a CI scheduler hiccup could flake the ratio.
+    for row in metrics_rows:
+        if row[0] >= 1000:
+            assert float(row[4].rstrip("x")) >= 5.0
+
+    _dump_json(scale_rows, duel_rows, metrics_rows)
 
     emit(capsys, report.banner("EXP-CHURN-SCALE  random churn, p_insert=0.5"))
     emit(
@@ -126,23 +250,48 @@ def test_churn_benchmarks(benchmark, capsys):
             duel_rows,
         ),
     )
+    emit(
+        capsys,
+        report.banner(
+            "EXP-METRICS-SCALING  per-round diameter: full-BFS sweep vs incremental"
+        ),
+    )
+    emit(
+        capsys,
+        report.format_table(
+            ["n", "rounds", "µs/round sweep", "µs/round incr", "speedup",
+             "agreement"],
+            metrics_rows,
+        ),
+    )
 
 
 if __name__ == "__main__":
     # Standalone mode: PYTHONPATH=src python -m benchmarks.bench_churn
+    _scale = run_scale_sweep()
+    _duel = run_churn_duel()
+    _metrics = run_metrics_scaling()
     for banner, rows, headers in (
         (
             "EXP-CHURN-SCALE  random churn, p_insert=0.5",
-            run_scale_sweep(),
+            _scale,
             ["n0", "events", "final n", "peak ∆deg", "peak msg/node",
              "connected", "µs/event"],
         ),
         (
             f"EXP-CHURN-DUEL  growth({DUEL_GROWTH}) then hub massacre",
-            run_churn_duel(),
+            _duel,
             ["healer", "inserts", "deletes", "peak ∆deg", "peak diameter",
              "connected"],
+        ),
+        (
+            "EXP-METRICS-SCALING  per-round diameter: full-BFS sweep vs incremental",
+            _metrics,
+            ["n", "rounds", "µs/round sweep", "µs/round incr", "speedup",
+             "agreement"],
         ),
     ):
         print(report.banner(banner))
         print(report.format_table(headers, rows))
+    _dump_json(_scale, _duel, _metrics)
+    print(f"\nwrote {OUT_PATH}")

@@ -22,7 +22,8 @@ strategies realize the attacks the paper reasons about:
 
 Churn adversaries (mixed insert/delete streams, the Forgiving Graph
 model) live in :mod:`repro.adversaries.churn`:
-:class:`RandomChurnAdversary`, :class:`GrowthThenMassacreAdversary`,
+:class:`RandomChurnAdversary`, :class:`WaveChurnAdversary` (batch join
+waves), :class:`GrowthThenMassacreAdversary`,
 :class:`OscillatingChurnAdversary`, :class:`TraceReplayAdversary`, and
 the :class:`DeletionOnlyChurnAdversary` adapter.
 """
@@ -36,6 +37,7 @@ from .churn import (
     OscillatingChurnAdversary,
     RandomChurnAdversary,
     TraceReplayAdversary,
+    WaveChurnAdversary,
 )
 from .simple import (
     CenterAdversary,
@@ -81,4 +83,5 @@ __all__ = [
     "ScriptedAdversary",
     "SurrogateKillerAdversary",
     "TraceReplayAdversary",
+    "WaveChurnAdversary",
 ]

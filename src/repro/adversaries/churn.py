@@ -29,7 +29,7 @@ import random
 from typing import Optional
 
 from ..baselines.base import Healer
-from ..churn.events import ChurnEvent, Delete, Insert
+from ..churn.events import ChurnEvent, Delete, Insert, InsertWave
 from ..churn.traces import ChurnTrace
 from ..core.errors import ReproError, SimulationOverError
 from .base import Adversary
@@ -71,14 +71,27 @@ class ChurnAdversary(abc.ABC):
         return nid
 
 
-def _pick_attachment(healer: Healer, rng: random.Random, prefer: str) -> int:
-    """Choose a live attachment point: uniform, hub-seeking, or leaf."""
-    alive = sorted(healer.alive)
+def _pick_attachment(
+    healer: Healer,
+    rng: random.Random,
+    prefer: str,
+    alive: Optional[list] = None,
+    graph=None,
+) -> int:
+    """Choose a live attachment point: uniform, hub-seeking, or leaf.
+
+    ``alive`` (sorted) and ``graph`` may be passed in when the caller
+    already has them — a wave adversary picks many attachment points per
+    event and should not re-sort or re-copy per joiner.
+    """
+    if alive is None:
+        alive = sorted(healer.alive)
     if not alive:
         raise SimulationOverError("no live node to attach to")
     if prefer == "random":
         return rng.choice(alive)
-    graph = healer.graph()
+    if graph is None:
+        graph = healer.graph()
     if prefer == "hub":
         return max(alive, key=lambda x: (len(graph[x]), -x))
     if prefer == "leaf":
@@ -114,6 +127,61 @@ class RandomChurnAdversary(ChurnAdversary):
         if len(alive) <= 1 or self._rng.random() < self.p_insert:
             target = _pick_attachment(healer, self._rng, self.attach)
             return Insert(self._fresh_id(healer), target)
+        return Delete(self._rng.choice(alive))
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self.seed)
+
+
+class WaveChurnAdversary(ChurnAdversary):
+    """Batch churn: whole join *waves* against single deletions.
+
+    With probability ``p_wave`` the round is an :class:`InsertWave` of
+    ``wave`` fresh joiners, each attached to an independently chosen live
+    node (attachment points are drawn from the pre-wave alive set, so the
+    wave satisfies the engines' batch semantics by construction);
+    otherwise a uniform victim is deleted.  Models flash-crowd joins —
+    the workload the amortized ``insert_batch`` path exists for."""
+
+    name = "wave-churn"
+
+    def __init__(
+        self,
+        wave: int = 8,
+        p_wave: float = 0.5,
+        seed: int = 0,
+        attach: str = "random",
+    ) -> None:
+        super().__init__()
+        if wave < 1:
+            raise ValueError("wave must be >= 1")
+        if not 0.0 <= p_wave <= 1.0:
+            raise ValueError("p_wave must be within [0, 1]")
+        self.wave = wave
+        self.p_wave = p_wave
+        self.seed = seed
+        self.attach = attach
+        self._rng = random.Random(seed)
+
+    def next_event(self, healer: Healer) -> ChurnEvent:
+        alive = sorted(healer.alive)
+        if not alive:
+            raise SimulationOverError("network is empty")
+        if len(alive) <= 1 or self._rng.random() < self.p_wave:
+            # Attachment points are chosen against the pre-wave state
+            # (wave semantics), so alive/graph are computed once per wave.
+            graph = healer.graph() if self.attach in ("hub", "leaf") else None
+            joiners = tuple(
+                (
+                    self._fresh_id(healer),
+                    _pick_attachment(
+                        healer, self._rng, self.attach, alive=alive, graph=graph
+                    ),
+                )
+                for _ in range(self.wave)
+            )
+            return InsertWave(joiners)
         return Delete(self._rng.choice(alive))
 
     def reset(self) -> None:
@@ -255,6 +323,7 @@ CHURN_ADVERSARY_CATALOG = {
     cls.name: cls
     for cls in (
         RandomChurnAdversary,
+        WaveChurnAdversary,
         GrowthThenMassacreAdversary,
         OscillatingChurnAdversary,
         TraceReplayAdversary,

@@ -14,10 +14,10 @@ can compare them head-to-head:
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional, Set
+from typing import Dict, Set
 
 from ..core.errors import DuplicateNodeError, NodeNotFoundError, SimulationOverError
-from ..core.events import HealReport
+from ..core.events import HealReport, normalize_wave
 from ..graphs.adjacency import Graph, copy as copy_graph, degrees
 
 
@@ -44,6 +44,39 @@ class Healer(abc.ABC):
         baseline degrees — the Forgiving Graph's *ideal graph*
         convention — so degree increase keeps measuring only
         heal-induced edges."""
+
+    def insert_batch(self, joiners) -> HealReport:
+        """A wave of ``(nid, attach_to)`` joiners lands in one round.
+
+        Default implementation: validate the whole wave up front (so a
+        rejected wave leaves no partial state — the same atomicity the
+        engines give), then apply the inserts sequentially and merge the
+        reports; the wave still counts as a single round.  Engines with
+        will machinery override this to amortize the rebuild cost across
+        the wave.  Wave semantics are shared by every healer: attachment
+        points must be alive *before* the wave — a joiner may not attach
+        to another joiner of the same wave — and ids are never reused.
+        """
+        wave = normalize_wave(
+            joiners, known_ids=self._original_degree, alive=self.alive
+        )
+        reports = [self.insert(nid, attach_to) for nid, attach_to in wave]
+        self.rounds -= len(wave) - 1  # one wave = one round
+        merged_messages: Dict[int, int] = {}
+        for r in reports:
+            for n, c in r.messages_per_node.items():
+                merged_messages[n] = merged_messages.get(n, 0) + c
+        return HealReport(
+            deleted=-1,
+            was_internal=False,
+            edges_added=frozenset().union(*(r.edges_added for r in reports)),
+            edges_removed=frozenset(),
+            events=tuple(e for r in reports for e in r.events),
+            messages_per_node=merged_messages,
+            inserted=wave[0][0] if len(wave) == 1 else None,
+            attached_to=wave[0][1] if len(wave) == 1 else None,
+            inserted_batch=tuple(wave),
+        )
 
     @abc.abstractmethod
     def graph(self) -> Graph:

@@ -65,6 +65,16 @@ class ForgivingTreeHealer(Healer):
         self._original_degree[attach_to] += 1
         return report
 
+    def insert_batch(self, joiners) -> HealReport:
+        """Batch wave via the engine: one will pass per attachment point."""
+        wave = [(int(n), int(a)) for n, a in joiners]
+        report = self.engine.insert_batch(wave)  # validates the wave itself
+        for nid, attach_to in wave:
+            self._original_degree[nid] = 1
+            self._original_degree[attach_to] += 1
+        self.rounds += 1
+        return report
+
     def graph(self) -> Graph:
         adjacency = self.engine.adjacency()
         for u, v in self._extra:

@@ -21,7 +21,7 @@ join as a counted message handshake, and every baseline healer accepts
 streams run through :func:`repro.harness.run_churn_campaign`.
 """
 
-from .events import ChurnEvent, Delete, Insert
+from .events import ChurnEvent, Delete, Insert, InsertWave
 from .traces import ChurnTrace, synthetic_skype_outage
 
 __all__ = [
@@ -29,5 +29,6 @@ __all__ = [
     "ChurnTrace",
     "Delete",
     "Insert",
+    "InsertWave",
     "synthetic_skype_outage",
 ]

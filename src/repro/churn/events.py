@@ -14,7 +14,7 @@ events and :func:`repro.harness.run_churn_campaign` consumes them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -38,5 +38,21 @@ class Delete:
         return f"delete {self.nid}"
 
 
+@dataclass(frozen=True)
+class InsertWave:
+    """A batch of joiners lands in a single round (amortized heal cost).
+
+    ``joiners`` is an ordered tuple of ``(nid, attach_to)`` pairs; every
+    attachment point must be alive *before* the wave (a joiner cannot
+    attach to a same-wave joiner), matching the batch-insert semantics of
+    the engines (:meth:`repro.core.forgiving_tree.ForgivingTree.insert_batch`).
+    """
+
+    joiners: Tuple[Tuple[int, int], ...]
+
+    def describe(self) -> str:
+        return f"insert wave of {len(self.joiners)}"
+
+
 #: One round of the churn game.
-ChurnEvent = Union[Insert, Delete]
+ChurnEvent = Union[Insert, Delete, InsertWave]

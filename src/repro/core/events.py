@@ -14,12 +14,46 @@ cross-check the two.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Tuple
+from typing import Container, FrozenSet, Iterable, List, Tuple
+
+from .errors import DuplicateNodeError, NodeNotFoundError
 
 
 def edge_key(u: int, v: int) -> Tuple[int, int]:
     """Canonical undirected edge representation (sorted pair)."""
     return (u, v) if u <= v else (v, u)
+
+
+def normalize_wave(
+    joiners: Iterable[Tuple[int, int]],
+    known_ids: Container[int],
+    alive: Container[int],
+) -> List[Tuple[int, int]]:
+    """Validate a batch insert wave *before* anything mutates.
+
+    The wave rules every runtime shares: at least one joiner, no
+    duplicate ids within the wave, ids never reused (``known_ids``),
+    and every attachment point alive before the wave — in particular
+    not itself a joiner of the same wave.  Raising here keeps
+    ``insert_batch`` atomic: a rejected wave leaves no partial state.
+    """
+    wave = [(int(n), int(a)) for n, a in joiners]
+    if not wave:
+        raise ValueError("insert_batch needs at least one joiner")
+    wave_ids = [n for n, _ in wave]
+    if len(set(wave_ids)) != len(wave_ids):
+        dup = next(x for i, x in enumerate(wave_ids) if x in wave_ids[:i])
+        raise DuplicateNodeError(dup)
+    for nid, attach_to in wave:
+        if nid in known_ids:
+            raise DuplicateNodeError(nid)
+        if attach_to in wave_ids:
+            raise NodeNotFoundError(
+                attach_to, "insert_batch attach point joins in the same wave"
+            )
+        if attach_to not in alive:
+            raise NodeNotFoundError(attach_to, "insert_batch attach point")
+    return wave
 
 
 @dataclass(frozen=True)
@@ -113,9 +147,13 @@ class HealReport:
         Synthesized count of protocol messages each involved node sent
         (events attributed to their acting node).
     inserted:
-        The node that joined this round (``None`` for a deletion round).
+        The node that joined this round (``None`` for a deletion round
+        and for batch waves of more than one joiner).
     attached_to:
         The live node the inserted node attached to.
+    inserted_batch:
+        For a batch insert wave: the ``(joiner, attach_to)`` pairs applied
+        this round, in order (empty otherwise).
     """
 
     deleted: int
@@ -126,10 +164,11 @@ class HealReport:
     messages_per_node: dict = field(default_factory=dict)
     inserted: "int | None" = None
     attached_to: "int | None" = None
+    inserted_batch: Tuple[Tuple[int, int], ...] = ()
 
     @property
     def is_insertion(self) -> bool:
-        return self.inserted is not None
+        return self.inserted is not None or bool(self.inserted_batch)
 
     @property
     def total_messages(self) -> int:
@@ -143,6 +182,12 @@ class HealReport:
 
     def describe(self) -> str:
         """One-line human readable summary (used by examples)."""
+        if len(self.inserted_batch) > 1:
+            return (
+                f"inserted wave of {len(self.inserted_batch)}: "
+                f"+{len(self.edges_added)} edges, "
+                f"{self.total_messages} msgs (max/node {self.max_messages_per_node})"
+            )
         if self.is_insertion:
             return (
                 f"inserted {self.inserted} under {self.attached_to}: "

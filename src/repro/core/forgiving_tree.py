@@ -34,7 +34,6 @@ from collections import deque
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from .errors import (
-    DuplicateNodeError,
     InvariantViolationError,
     NodeNotFoundError,
     NotATreeError,
@@ -50,6 +49,7 @@ from .events import (
     LeafWillSent,
     NodeInserted,
     WillPortionSent,
+    normalize_wave,
 )
 from .slot_tree import SlotTree
 from .state import HelperState, NodeState
@@ -302,49 +302,72 @@ class ForgivingTree:
         The synthesized message tally mirrors the distributed INSERT
         handshake exactly (request, optional leaf-will retraction, ack,
         O(1) will-portion refreshes, the joiner's leaf-will deposit) so
-        the two runtimes can be cross-checked per insertion.
+        the two runtimes can be cross-checked per insertion.  A single
+        insert *is* a batch wave of one — see :meth:`insert_batch` for
+        the one shared implementation of the join choreography.
         """
-        nid = int(nid)
-        if nid in self._ever:
-            raise DuplicateNodeError(nid)
-        if attach_to not in self._vt:
-            raise NodeNotFoundError(attach_to, "insert attach point")
+        return self.insert_batch([(nid, attach_to)])
+
+    def insert_batch(self, joiners: Iterable[Tuple[int, int]]) -> HealReport:
+        """A wave of nodes joins in one round, amortizing will rebuilds.
+
+        ``joiners`` is an ordered sequence of ``(nid, attach_to)`` pairs.
+        Every joiner is placed by exactly the same rule as :meth:`insert`
+        (so the resulting structure is identical to applying the wave
+        sequentially), but will maintenance is amortized per *attachment
+        point*: the portions an attachment point's will must retransmit
+        are computed once for the whole wave — one recomputation pass per
+        touched stand-in, not one per joiner (:meth:`SlotTree.add_batch`).
+        The synthesized message tally mirrors the distributed
+        ``InsertBatch`` handshake exactly, per node.
+
+        Wave semantics: attachment points must be alive *before* the wave
+        (a joiner cannot attach to another joiner of the same wave), and
+        ids are never reused.  The wave counts as a single round.
+        """
+        wave = normalize_wave(joiners, known_ids=self._ever, alive=self._vt)
+
         self._events = []
         self._vt.recorder = self._events.append
         self._tally = _Tally()
-        self._events.append(NodeInserted(nid, attach_to))
 
-        parent = self._vt.real(attach_to)
-        self._tally.send(nid, 1)  # join request to the attachment point
-        if not parent.children and self._leaf_will_holder(parent) is not None:
-            # The attachment point stops being a tree leaf: it retracts
-            # the leaf will it had deposited.
-            self._tally.send(attach_to, 1)
+        groups: Dict[int, List[int]] = {}
+        for nid, attach_to in wave:
+            groups.setdefault(attach_to, []).append(nid)
 
-        node = self._vt.add_real(nid)
-        self._vt.attach(node, parent)
-        self._ever.add(nid)
-        self._wills[nid] = SlotTree([], branching=self.branching)
-        will = self._wills[attach_to]
-        delta = will.add(nid)
-        self._tally.send(attach_to, 1)  # join ack (parent-link handshake)
-
-        # O(1) portion refreshes: the slots the placement touched, plus
-        # the heir and the SubRT root whose portions embed cross-refs.
-        targets = set(delta.touched)
-        if will.heir is not None:
-            targets.add(will.heir)
-        targets.add(will.root_sim())
-        for t in sorted(s for s in targets if s in will):
-            self._events.append(WillPortionSent(attach_to, t))
-            self._tally.send(attach_to, 1)
-
-        # The joiner is a tree leaf: it deposits its (empty) leaf will.
-        self._events.append(LeafWillSent(nid, attach_to))
-        self._tally.send(nid, 1)
-
-        self.original_degree[nid] = 1
-        self.original_degree[attach_to] += 1
+        for attach_to, group in groups.items():
+            parent = self._vt.real(attach_to)
+            for nid in group:
+                self._tally.send(nid, 1)  # join request to the attachment point
+            if not parent.children and self._leaf_will_holder(parent) is not None:
+                # The attachment point stops being a tree leaf: it
+                # retracts its deposited leaf will (once per wave).
+                self._tally.send(attach_to, 1)
+            for nid in group:
+                self._events.append(NodeInserted(nid, attach_to))
+                node = self._vt.add_real(nid)
+                self._vt.attach(node, parent)
+                self._ever.add(nid)
+                self._wills[nid] = SlotTree([], branching=self.branching)
+                self._tally.send(attach_to, 1)  # join ack (parent-link handshake)
+                self.original_degree[nid] = 1
+                self.original_degree[attach_to] += 1
+            will = self._wills[attach_to]
+            delta = will.add_batch(group)
+            # One portion pass for the whole group: the union of touched
+            # slots, plus the heir and the SubRT root (their portions
+            # embed cross-refs) — each retransmitted exactly once.
+            targets = set(delta.touched)
+            if will.heir is not None:
+                targets.add(will.heir)
+            targets.add(will.root_sim())
+            for t in sorted(s for s in targets if s in will):
+                self._events.append(WillPortionSent(attach_to, t))
+                self._tally.send(attach_to, 1)
+            for nid in group:
+                # Each joiner is a tree leaf: it deposits its leaf will.
+                self._events.append(LeafWillSent(nid, attach_to))
+                self._tally.send(nid, 1)
         self.rounds += 1
 
         added = frozenset(e.key() for e in self._events if isinstance(e, EdgeAdded))
@@ -355,8 +378,9 @@ class ForgivingTree:
             edges_removed=frozenset(),
             events=tuple(self._events),
             messages_per_node=dict(self._tally.sent),
-            inserted=nid,
-            attached_to=attach_to,
+            inserted=wave[0][0] if len(wave) == 1 else None,
+            attached_to=wave[0][1] if len(wave) == 1 else None,
+            inserted_batch=tuple(wave),
         )
         if self.strict:
             self.check()
@@ -767,6 +791,19 @@ class ForgivingTree:
                     # its simulator to inherit the leaf will.
                     if self._splice_helper(parent_pos) is not None:
                         freed = parent_pos.sim
+            if not role.children:
+                # The dissolved parent helper was the role's only child:
+                # the role itself just became childless — it vanishes
+                # instead of being inherited (there is nothing left to
+                # simulate), and its own slot loss cascades upward.
+                sim = role.sim
+                grand = vt.detach(role)
+                self._record_destroy(role)
+                vt.destroy_helper(role)
+                vt.remove_real(real)
+                if grand is not None:
+                    self._absorb_child_loss(grand, lost_stand_in=sim)
+                return
             if (
                 freed is None
                 or freed == v
@@ -783,8 +820,15 @@ class ForgivingTree:
             self._tally.send(freed, len(role.children) + 1)
             self._notify_standin_change(role, old, freed)
             # Cascade only after the inheritance settled: the cascade may
-            # legitimately splice the very helper just inherited.
-            if not parent_pos.is_real and cascade_to is not None:
+            # legitimately splice the very helper just inherited.  The
+            # donor search above may itself have stolen (spliced) the
+            # cascade target to free a simulator — the slot loss is then
+            # already absorbed and the helper must not be touched again.
+            if (
+                not parent_pos.is_real
+                and cascade_to is not None
+                and (cascade_to.is_real or vt.helper_alive(cascade_to))
+            ):
                 self._absorb_child_loss(cascade_to, lost_stand_in=cascade_standin)
 
         vt.remove_real(real)

@@ -143,6 +143,19 @@ class AddDelta:
     touched: Tuple[int, ...] = ()
 
 
+@dataclass(frozen=True)
+class AddBatchDelta:
+    """What changed when a wave of leaf slots was inserted together.
+
+    ``touched`` is the union of the per-add touched sets, deduplicated —
+    the point of batching: each affected stand-in's portion is recomputed
+    and retransmitted *once per wave*, not once per joiner.
+    """
+
+    added: Tuple[int, ...] = ()
+    touched: Tuple[int, ...] = ()
+
+
 @dataclass
 class InternalSpec:
     """Structural description of one internal position (for deployment)."""
@@ -457,6 +470,29 @@ class SlotTree:
         touched.extend(self._around(node))
         return AddDelta(
             paired_with=target.stand_in,
+            touched=tuple(dict.fromkeys(t for t in touched if t in self._leaves)),
+        )
+
+    def add_batch(self, stand_ins: Sequence[int]) -> AddBatchDelta:
+        """Insert a wave of leaf slots, amortizing the portion recompute.
+
+        Each joiner is placed by exactly the same rule as :meth:`add`, in
+        order, so the resulting slot tree is *identical* to applying the
+        same adds sequentially — the amortization is entirely in the
+        reported ``touched`` set, which is the deduplicated union: a wave
+        costs one portion retransmission per touched stand-in, not one
+        per joiner (adds never remove leaves, so every intermediate
+        touched stand-in is still live at the end of the wave).
+        """
+        ids = [int(s) for s in stand_ins]
+        if len(set(ids)) != len(ids):
+            dup = next(x for i, x in enumerate(ids) if x in ids[:i])
+            raise DuplicateNodeError(dup)
+        touched: List[int] = []
+        for s in ids:
+            touched.extend(self.add(s).touched)
+        return AddBatchDelta(
+            added=tuple(ids),
             touched=tuple(dict.fromkeys(t for t in touched if t in self._leaves)),
         )
 

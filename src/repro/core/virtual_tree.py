@@ -145,6 +145,10 @@ class VirtualTree:
     def helpers(self) -> List[VTHelper]:
         return list(self._helpers.values())
 
+    def helper_alive(self, helper: VTHelper) -> bool:
+        """Is ``helper`` still part of the structure (not yet destroyed)?"""
+        return self._helpers.get(helper.hid) is helper
+
     def owner(self, node: VTNode) -> int:
         return owner_of(node)
 

@@ -146,9 +146,17 @@ class RemoveHChild(Message):
 @dataclass(frozen=True)
 class InsertRequest(Message):
     """Churn model: a joining node asks a live node to adopt it as a new
-    child slot (the INSERT handshake's first half)."""
+    child slot (the INSERT handshake's first half).
+
+    ``final`` supports batch insert waves: when ``False``, more requests
+    of the same wave follow for this attachment point, so the adoptee's
+    will-portion retransmissions are deferred and coalesced until the
+    final request arrives — that is the amortization that makes waves
+    cost one portion pass per touched stand-in rather than one per
+    joiner.  A lone insert is simply a wave of one (``final=True``)."""
 
     child_ref: Ref
+    final: bool = True
 
     def id_count(self) -> int:
         return 3

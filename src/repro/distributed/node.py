@@ -30,7 +30,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..core.errors import ProtocolError
-from ..core.slot_tree import SlotTree
+from ..core.slot_tree import AddDelta, SlotTree
 from .messages import (
     REAL,
     HELPER,
@@ -122,6 +122,9 @@ class ProtocolNode:
         self.pending: Set[Tuple[int, str]] = set()
         self._leafwill_sent_to: Optional[Tuple[Optional[Ref], str]] = None
         self._leafwill_holder: Optional[int] = None
+        # batch insert waves: touched stand-ins accumulated across the
+        # wave's non-final requests, flushed by the final one.
+        self._wave_touched: Set[int] = set()
 
     # ------------------------------------------------------------------
     # local views
@@ -359,7 +362,10 @@ class ProtocolNode:
 
         I stop being a tree leaf, so any deposited leaf will is retracted
         first; the joiner gets an ack carrying its parent link, and the
-        O(1) will portions the new slot touched are retransmitted."""
+        O(1) will portions the new slot touched are retransmitted.  For a
+        batch wave (``final=False``) the retransmission is deferred: the
+        touched stand-ins accumulate and the wave's final request flushes
+        them in one coalesced pass."""
         new = msg.child_ref[0]
         if new in self.will:
             raise ProtocolError(f"{self.nid}: duplicate insert of {new}")
@@ -374,7 +380,11 @@ class ProtocolNode:
         self._send(
             InsertAck(sender=self.nid, recipient=new, parent_ref=(self.nid, REAL))
         )
-        self._refresh_after_will_change(delta)
+        self._wave_touched.update(delta.touched)
+        if msg.final:
+            touched = self._wave_touched
+            self._wave_touched = set()
+            self._refresh_after_will_change(AddDelta(touched=tuple(touched)))
 
     # ------------------------------------------------------------------
     # deletion handling

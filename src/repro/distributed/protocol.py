@@ -13,11 +13,11 @@ from collections import deque
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.errors import (
-    DuplicateNodeError,
     NodeNotFoundError,
     ProtocolError,
     SimulationOverError,
 )
+from ..core.events import normalize_wave
 from ..core.forgiving_tree import _as_adjacency, _check_is_tree
 from ..core.slot_tree import SlotTree
 from .messages import REAL, Deleted, InsertRequest
@@ -121,25 +121,46 @@ class DistributedForgivingTree:
         handshake as real counted messages: request, (optional leaf-will
         retraction by the attachment point), ack + O(1) will-portion
         refreshes, and the joiner's leaf-will deposit.  Node ids are
-        never reused, matching the sequential engine.
+        never reused, matching the sequential engine.  A single insert
+        *is* a batch wave of one (:meth:`insert_batch`).
         """
-        nid = int(nid)
-        if nid in self._ever:
-            raise DuplicateNodeError(nid)
-        if attach_to not in self.network:
-            raise NodeNotFoundError(attach_to, "insert attach point")
+        return self.insert_batch([(nid, attach_to)])
+
+    def insert_batch(self, joiners) -> RoundStats:
+        """A wave of nodes joins in one round (batch INSERT handshake).
+
+        Mirrors :meth:`~repro.core.forgiving_tree.ForgivingTree.insert_batch`
+        semantics: ``joiners`` is an ordered sequence of ``(nid,
+        attach_to)`` pairs, attachment points must be alive before the
+        wave (a joiner cannot attach to a same-wave joiner), and ids are
+        never reused.  Requests for the same attachment point are flagged
+        so the adoptee coalesces its will-portion retransmissions into
+        one pass for the whole wave (``InsertRequest.final``); the
+        per-node message tallies cross-check against the sequential
+        engine's synthesized ones exactly.
+        """
+        wave = normalize_wave(joiners, known_ids=self._ever, alive=self.network)
         self.rounds += 1
-        node = ProtocolNode(nid)
-        self.network.register(node)
-        self._ever.add(nid)
-        self.original_degree[nid] = 1
-        self.original_degree[attach_to] += 1
+        groups: Dict[int, List[int]] = {}
+        for nid, attach_to in wave:
+            groups.setdefault(attach_to, []).append(nid)
+        for nid, attach_to in wave:
+            node = ProtocolNode(nid)
+            self.network.register(node)
+            self._ever.add(nid)
+            self.original_degree[nid] = 1
+            self.original_degree[attach_to] += 1
         self.network.begin_round(self.rounds)
-        self.network.send(
-            InsertRequest(
-                sender=nid, recipient=attach_to, child_ref=(nid, REAL)
-            )
-        )
+        for attach_to, group in groups.items():
+            for i, nid in enumerate(group):
+                self.network.send(
+                    InsertRequest(
+                        sender=nid,
+                        recipient=attach_to,
+                        child_ref=(nid, REAL),
+                        final=i == len(group) - 1,
+                    )
+                )
         stats = self.network.run_round(self.rounds)
         self._check_quiescent()
         return stats

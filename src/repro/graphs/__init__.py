@@ -1,6 +1,16 @@
-"""Graph substrates: plain-dict graphs, generators, metrics, spanning trees."""
+"""Graph substrates: plain-dict graphs, generators, metrics, spanning trees,
+and incremental (O(depth)-per-edit) tree-metric maintenance."""
 
-from . import adjacency, generators, metrics, spanning
+from . import adjacency, generators, incremental, metrics, spanning
 from .adjacency import Graph
+from .incremental import DynamicTreeMetrics
 
-__all__ = ["Graph", "adjacency", "generators", "metrics", "spanning"]
+__all__ = [
+    "DynamicTreeMetrics",
+    "Graph",
+    "adjacency",
+    "generators",
+    "incremental",
+    "metrics",
+    "spanning",
+]

@@ -1,0 +1,416 @@
+"""Incremental tree metrics: O(depth) diameter maintenance under churn.
+
+Per-round diameter measurement is the expensive half of the paper's
+success metrics (Model 2.1): :func:`~repro.graphs.metrics.diameter_exact`
+is O(n·m) and even the double sweep pays two full BFS passes — O(m) —
+every round, which makes per-round stretch tracking unaffordable on the
+10k+ churn campaigns the benchmarks target.  But a healing round only
+edits the overlay *locally*: the engines emit structured deltas (the
+:class:`~repro.core.events.HealReport` edge sets), so the diameter can be
+maintained incrementally instead of re-derived from scratch.
+
+:class:`DynamicTreeMetrics` keeps a rooted orientation of the (tree)
+overlay together with two per-subtree aggregates:
+
+* ``height[v]`` — the number of edges from ``v`` down to its deepest
+  descendant leaf, and
+* ``diam[v]`` — the diameter of the subtree rooted at ``v``
+  (``max`` of the child diameters and of the path through ``v`` joining
+  its two tallest child branches).
+
+The global diameter is ``diam[root]``.  A leaf insertion touches only the
+root path of the attachment point; a heal round removes the victim, may
+detach whole subtrees (whose *internal* aggregates stay valid), and
+re-hangs them along the new edges — re-orienting only the path from each
+re-attachment point up to its detached fragment root, then re-aggregating
+root paths.  Every update is O(k·depth) for k changed edges, against the
+O(m)-per-round BFS it replaces.
+
+The structure is deliberately *strict*: any delta that would leave a
+non-tree (a cycle, a disconnection, an unknown edge) raises
+:class:`~repro.core.errors.NotATreeError`, which is how the harness knows
+to fall back to BFS measurement (see ``run_churn_campaign``'s ``metrics``
+parameter).  Property-based tests cross-validate the maintained diameter
+against ``diameter_exact`` after every event of randomized churn traces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..core.errors import (
+    DuplicateNodeError,
+    EmptyStructureError,
+    InvariantViolationError,
+    NodeNotFoundError,
+    NotATreeError,
+)
+from ..core.events import edge_key
+from .adjacency import Graph
+
+
+class DynamicTreeMetrics:
+    """Maintains the exact diameter of a changing tree (see module doc).
+
+    Parameters
+    ----------
+    graph:
+        The initial overlay; must be a tree (or empty).  The adjacency is
+        copied — the structure is fed deltas, it never re-reads the graph.
+    root:
+        Orientation root (default: smallest id).  Purely internal; the
+        maintained metrics are orientation-independent.
+    """
+
+    def __init__(self, graph: Mapping[int, Iterable[int]], root: Optional[int] = None):
+        self._adj: Graph = {int(n): {int(m) for m in s} for n, s in graph.items()}
+        self._parent: Dict[int, Optional[int]] = {}
+        self._children: Dict[int, Set[int]] = {}
+        self._height: Dict[int, int] = {}
+        self._diam: Dict[int, int] = {}
+        self._chords: Set[Tuple[int, int]] = set()
+        self._root: Optional[int] = None
+        if not self._adj:
+            return
+        self._root = min(self._adj) if root is None else int(root)
+        if self._root not in self._adj:
+            raise NodeNotFoundError(self._root, "metrics root")
+        self._orient_from_root()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _orient_from_root(self) -> None:
+        order: List[int] = [self._root]  # type: ignore[list-item]
+        self._parent = {self._root: None}  # type: ignore[dict-item]
+        self._children = {n: set() for n in self._adj}
+        queue = deque(order)
+        while queue:
+            cur = queue.popleft()
+            for nxt in self._adj[cur]:
+                if nxt not in self._parent:
+                    self._parent[nxt] = cur
+                    self._children[cur].add(nxt)
+                    order.append(nxt)
+                    queue.append(nxt)
+                elif self._parent[cur] != nxt and nxt not in self._children[cur]:
+                    self._chords.add(edge_key(cur, nxt))
+        if len(order) != len(self._adj):
+            raise NotATreeError("graph is not connected")
+        for nid in reversed(order):
+            self._recompute(nid)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._adj
+
+    @property
+    def root(self) -> Optional[int]:
+        return self._root
+
+    @property
+    def n_chords(self) -> int:
+        """Number of non-tree (cycle-closing) edges currently tracked."""
+        return len(self._chords)
+
+    @property
+    def is_exact(self) -> bool:
+        """True when :attr:`diameter` is the exact graph diameter.
+
+        The maintained aggregate is the diameter of the spanning tree;
+        with no chords the graph *is* that tree, so the value is exact.
+        With chords (the Forgiving Tree's short heal cycles) the chords
+        can only shorten distances, so the value brackets the true
+        diameter from above — the mirror of the double sweep's
+        lower-bound bracket, and still inside the Theorem 1.2 envelope.
+        """
+        return not self._chords
+
+    @property
+    def diameter(self) -> int:
+        """Diameter of the maintained tree overlay (0 for a singleton).
+
+        Exact whenever the tracked graph is a tree (:attr:`is_exact`);
+        an upper bound when chord edges are present.
+        """
+        if self._root is None:
+            raise EmptyStructureError("diameter of empty tree")
+        return self._diam[self._root]
+
+    def height_of(self, nid: int) -> int:
+        """Edges from ``nid`` down to its deepest subtree leaf."""
+        if nid not in self._adj:
+            raise NodeNotFoundError(nid, "height_of")
+        return self._height[nid]
+
+    # ------------------------------------------------------------------
+    # the delta feed
+    # ------------------------------------------------------------------
+    def apply_report(self, report) -> None:
+        """Consume one heal/insert round's :class:`HealReport` delta."""
+        if report.is_insertion:
+            pairs = report.inserted_batch or ((report.inserted, report.attached_to),)
+            for nid, attach_to in pairs:
+                self.insert_leaf(nid, attach_to)
+        else:
+            self.apply_delete(report.deleted, report.edges_added, report.edges_removed)
+
+    def insert_leaf(self, nid: int, attach_to: int) -> None:
+        """A fresh leaf ``nid`` joined under live ``attach_to`` — O(depth)."""
+        nid, attach_to = int(nid), int(attach_to)
+        if nid in self._adj:
+            raise DuplicateNodeError(nid)
+        if self._root is None:
+            # First node of an empty network (the network can re-grow).
+            self._adj[nid] = set()
+            self._parent[nid] = None
+            self._children[nid] = set()
+            self._height[nid] = 0
+            self._diam[nid] = 0
+            self._root = nid
+            return
+        if attach_to not in self._adj:
+            raise NodeNotFoundError(attach_to, "insert_leaf attach point")
+        self._adj[nid] = {attach_to}
+        self._adj[attach_to].add(nid)
+        self._parent[nid] = attach_to
+        self._children[nid] = set()
+        self._children[attach_to].add(nid)
+        self._height[nid] = 0
+        self._diam[nid] = 0
+        self._bubble(attach_to)
+
+    def apply_delete(
+        self,
+        victim: int,
+        added: Iterable[Tuple[int, int]],
+        removed: Iterable[Tuple[int, int]],
+    ) -> None:
+        """One deletion round: the victim dies, heal edges rewire the tree.
+
+        ``added``/``removed`` are the net image-edge deltas of the round
+        (canonical pairs, as reported by the engines).  Raises
+        :class:`NotATreeError` when the deltas do not leave a tree — the
+        caller should then fall back to BFS measurement.
+        """
+        if victim not in self._adj:
+            raise NodeNotFoundError(victim, "apply_delete victim")
+        if len(self._adj) == 1:
+            self._adj.clear()
+            self._parent.clear()
+            self._children.clear()
+            self._height.clear()
+            self._diam.clear()
+            self._root = None
+            return
+        if victim == self._root:
+            # Re-root to a tree child (a chord neighbor carries no
+            # orientation to flip); n >= 2 guarantees one exists.
+            self._reroot_adjacent(min(self._children[victim]))
+
+        # Normalize and include every victim-incident edge in the removals
+        # (engines report them, but baseline reports are trusted less).
+        removed_keys = {edge_key(int(u), int(v)) for u, v in removed}
+        removed_keys |= {edge_key(victim, x) for x in self._adj[victim]}
+        added_keys = [edge_key(int(u), int(v)) for u, v in added]
+
+        detached: Set[int] = set()  # fragment roots cut off the anchor tree
+        dirty: Set[int] = set()  # nodes whose child set changed
+        for u, v in removed_keys:
+            if v not in self._adj.get(u, ()):
+                raise NotATreeError(f"removed edge {(u, v)} not present")
+            self._adj[u].discard(v)
+            self._adj[v].discard(u)
+            if (u, v) in self._chords:
+                self._chords.discard((u, v))  # chords carry no orientation
+            elif self._parent.get(u) == v:
+                self._children[v].discard(u)
+                self._parent[u] = None
+                detached.add(u)
+                dirty.add(v)
+            elif self._parent.get(v) == u:
+                self._children[u].discard(v)
+                self._parent[v] = None
+                detached.add(v)
+                dirty.add(u)
+            else:  # pragma: no cover - defensive: cannot happen on a tree
+                raise NotATreeError(f"edge {(u, v)} had no orientation")
+
+        if self._adj[victim]:
+            raise NotATreeError(f"victim {victim} still has edges after removals")
+        for store in (self._adj, self._parent, self._children, self._height, self._diam):
+            store.pop(victim, None)
+        detached.discard(victim)
+        dirty.discard(victim)
+
+        pending: List[Tuple[int, int]] = []
+        for u, v in added_keys:
+            if u not in self._adj or v not in self._adj:
+                raise NotATreeError(f"added edge {(u, v)} touches unknown node")
+            if v in self._adj[u]:
+                raise NotATreeError(f"added edge {(u, v)} already present")
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            pending.append((u, v))
+        # Existing chords may reconnect fragments a removed tree edge cut
+        # off: they compete with the new edges for spanning duty.
+        pending.extend(self._chords)
+        self._chords.clear()
+
+        # Re-hang detached fragments along the new (and chord) edges.  A
+        # fragment's internal orientation and aggregates are still valid;
+        # only the path from the re-attachment point up to the fragment
+        # root flips.  An edge whose endpoints land in the same fragment
+        # closes a cycle and is kept as a chord.
+        while pending:
+            rest: List[Tuple[int, int]] = []
+            progress = False
+            for u, v in pending:
+                ru, rv = self._frag_root(u), self._frag_root(v)
+                if ru == rv:
+                    self._chords.add(edge_key(u, v))
+                    progress = True
+                elif ru == self._root:
+                    self._rehang(v, u)
+                    detached.discard(rv)
+                    dirty.add(u)
+                    progress = True
+                elif rv == self._root:
+                    self._rehang(u, v)
+                    detached.discard(ru)
+                    dirty.add(v)
+                    progress = True
+                else:
+                    rest.append((u, v))
+            if not progress:
+                raise NotATreeError("heal round left the overlay disconnected")
+            pending = rest
+        if detached:
+            raise NotATreeError("heal round left the overlay disconnected")
+
+        for seed in dirty:
+            if seed in self._adj:
+                self._bubble(seed)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _recompute(self, nid: int) -> None:
+        """Refresh ``height``/``diam`` of ``nid`` from its children."""
+        top1 = top2 = -1  # the two tallest child branch heights
+        best_child_diam = 0
+        for c in self._children[nid]:
+            h = self._height[c]
+            if h > top1:
+                top1, top2 = h, top1
+            elif h > top2:
+                top2 = h
+            if self._diam[c] > best_child_diam:
+                best_child_diam = self._diam[c]
+        self._height[nid] = top1 + 1 if top1 >= 0 else 0
+        through = (top1 + 1) + (top2 + 1) if top2 >= 0 else (top1 + 1 if top1 >= 0 else 0)
+        self._diam[nid] = max(through, best_child_diam)
+
+    def _bubble(self, nid: int) -> None:
+        """Recompute aggregates from ``nid`` all the way to the root."""
+        cur: Optional[int] = nid
+        while cur is not None:
+            self._recompute(cur)
+            cur = self._parent[cur]
+
+    def _frag_root(self, nid: int) -> int:
+        cur = nid
+        while self._parent[cur] is not None:
+            cur = self._parent[cur]  # type: ignore[assignment]
+        return cur
+
+    def _rehang(self, top: int, onto: int) -> None:
+        """Re-root ``top``'s fragment at ``top`` and hang it under ``onto``.
+
+        Flips the parent pointers along the ``top`` → fragment-root path,
+        re-aggregating the flipped nodes bottom-up, then attaches.
+        """
+        path = [top]
+        while self._parent[path[-1]] is not None:
+            path.append(self._parent[path[-1]])  # type: ignore[arg-type]
+        for i in range(len(path) - 1, 0, -1):
+            child, par = path[i - 1], path[i]
+            self._children[par].discard(child)
+            self._children[child].add(par)
+            self._parent[par] = child
+        for node in reversed(path):
+            self._recompute(node)
+        self._parent[top] = onto
+        self._children[onto].add(top)
+
+    def _reroot_adjacent(self, new_root: int) -> None:
+        """Move the orientation root to a neighbor of the current root."""
+        old = self._root
+        assert old is not None and new_root in self._adj[old]
+        if self._parent[new_root] != old:  # pragma: no cover - defensive
+            raise InvariantViolationError("metrics-root", "neighbor not a child")
+        self._children[old].discard(new_root)
+        self._children[new_root].add(old)
+        self._parent[old] = new_root
+        self._parent[new_root] = None
+        self._root = new_root
+        self._recompute(old)
+        self._recompute(new_root)
+
+    # ------------------------------------------------------------------
+    # validation (tests)
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Recompute everything from scratch and compare (slow; tests)."""
+        if self._root is None:
+            if self._adj or self._parent or self._height or self._chords:
+                raise InvariantViolationError("metrics-empty", "stale entries")
+            return
+        # Orientation forms a spanning tree of the adjacency minus chords.
+        seen = {self._root}
+        order = [self._root]
+        queue = deque(order)
+        while queue:
+            cur = queue.popleft()
+            for c in self._children[cur]:
+                if self._parent[c] != cur or cur not in self._adj[c]:
+                    raise InvariantViolationError("metrics-orientation", str(c))
+                if c in seen:
+                    raise InvariantViolationError("metrics-orientation", f"dup {c}")
+                seen.add(c)
+                order.append(c)
+                queue.append(c)
+        if seen != set(self._adj):
+            raise InvariantViolationError(
+                "metrics-spanning", f"unreachable: {set(self._adj) - seen}"
+            )
+        tree_edges = {
+            edge_key(n, self._parent[n])  # type: ignore[arg-type]
+            for n in self._adj
+            if self._parent[n] is not None
+        }
+        all_edges = {edge_key(u, v) for u, s in self._adj.items() for v in s}
+        if tree_edges | self._chords != all_edges or tree_edges & self._chords:
+            raise InvariantViolationError("metrics-chords", "edge partition broken")
+        # Aggregates match a bottom-up recomputation over this orientation.
+        stored = {n: (self._height[n], self._diam[n]) for n in self._adj}
+        for nid in reversed(order):
+            self._recompute(nid)
+        for nid in self._adj:
+            if stored[nid] != (self._height[nid], self._diam[nid]):
+                raise InvariantViolationError(
+                    "metrics-aggregate",
+                    f"node {nid}: stored {stored[nid]} vs "
+                    f"{(self._height[nid], self._diam[nid])}",
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self._root is None:
+            return "DynamicTreeMetrics(empty)"
+        return f"DynamicTreeMetrics(n={len(self._adj)}, diameter={self.diameter})"

@@ -41,7 +41,16 @@ def diameter_double_sweep(graph: Graph, seed: int = 0) -> int:
 
     Start a BFS anywhere, move to the farthest node found, BFS again; the
     max distance of the second sweep lower-bounds the diameter and equals
-    it on trees — which is where the benchmarks use it.
+    it on trees — which is where the benchmarks use it.  On general
+    graphs the result can undershoot the true diameter, so callers
+    measuring non-tree overlays (baseline healers keep cycles) must treat
+    it as a lower bound.
+
+    ``seed`` only picks the first sweep's start node: the function is
+    deterministic given ``seed``, and the campaign harness threads its
+    own seed through so repeated runs reproduce end to end (the result
+    itself can differ across seeds only on non-tree graphs, where
+    different start nodes may find different lower bounds).
     """
     if not graph:
         raise EmptyStructureError("diameter of empty graph")
@@ -58,7 +67,15 @@ def diameter_double_sweep(graph: Graph, seed: int = 0) -> int:
 
 
 def diameter(graph: Graph, exact: bool = True, seed: int = 0) -> int:
-    """Diameter; ``exact=False`` uses the double sweep (exact on trees)."""
+    """Diameter; ``exact=False`` uses the double sweep.
+
+    Caveat for ``exact=False``: the double sweep is exact *on trees only*
+    (every healed Forgiving Tree overlay); on general graphs it is a
+    seed-dependent lower bound — see :func:`diameter_double_sweep`.  For
+    per-round measurement over churn campaigns prefer the incremental
+    engine (:class:`repro.graphs.incremental.DynamicTreeMetrics`), which
+    is exact on trees at O(depth) per round instead of O(m).
+    """
     return diameter_exact(graph) if exact else diameter_double_sweep(graph, seed)
 
 

@@ -2,6 +2,7 @@
 
 from . import bounds, report
 from .experiment import (
+    METRICS_MODES,
     CampaignResult,
     RoundRecord,
     churn_duel,
@@ -11,6 +12,7 @@ from .experiment import (
 )
 
 __all__ = [
+    "METRICS_MODES",
     "CampaignResult",
     "RoundRecord",
     "bounds",

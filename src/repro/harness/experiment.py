@@ -17,9 +17,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..adversaries.base import Adversary
 from ..adversaries.churn import ChurnAdversary
 from ..baselines.base import Healer
-from ..churn.events import Delete, Insert
-from ..core.errors import SimulationOverError
+from ..churn.events import Delete, Insert, InsertWave
+from ..core.errors import NotATreeError, ReproError, SimulationOverError
 from ..graphs.adjacency import Graph, is_connected, max_degree
+from ..graphs.incremental import DynamicTreeMetrics
 from ..graphs.metrics import diameter_double_sweep, diameter_exact
 
 
@@ -28,7 +29,10 @@ class RoundRecord:
     """Metrics after one churn event (deletion + heal, or insertion).
 
     ``deleted`` is ``-1`` on insertion rounds; ``inserted`` is ``None``
-    on deletion rounds; ``event`` names the kind either way.
+    on deletion rounds (and on batch waves); ``event`` names the kind
+    either way; ``wave_size`` is non-zero only for batch insert waves.
+    ``stretch`` is ``diameter / initial_diameter`` when both are
+    measurable (the paper's Model 2.1 metric 2, tracked per round).
     """
 
     round: int
@@ -42,6 +46,89 @@ class RoundRecord:
     max_messages_per_node: int
     event: str = "delete"
     inserted: Optional[int] = None
+    wave_size: int = 0
+    stretch: Optional[float] = None
+
+
+#: ``metrics=`` modes for the campaign runners.  ``"auto"`` uses the
+#: incremental engine when the initial overlay is a tree and silently
+#: degrades to the double sweep the first time a round's deltas
+#: disconnect the overlay (e.g. the no-repair baseline);
+#: ``"incremental"`` insists (raises instead of degrading);
+#: ``"double-sweep"`` and ``"exact"`` force the per-round BFS paths;
+#: ``"none"`` skips diameter entirely.
+METRICS_MODES = ("auto", "incremental", "double-sweep", "exact", "none")
+
+
+class _DiameterMeter:
+    """Per-round connectivity + diameter measurement for campaigns.
+
+    Wraps the mode resolution: incremental maintenance via
+    :class:`DynamicTreeMetrics` (O(depth)/round) with BFS fallback.
+    While the tracker is live, connectivity is implied by the maintained
+    spanning-tree invariant — no per-round BFS at all.
+
+    Measurement semantics: on tree overlays every mode agrees exactly.
+    On overlays with heal chords (a Forgiving Tree deployment keeps
+    short cycles), the incremental value is the tree-overlay diameter —
+    an upper bracket on the exact diameter, the mirror of the double
+    sweep's lower bracket; both brackets live inside the Theorem 1.2
+    envelope.  ``seed`` threads the campaign's RNG seed into the double
+    sweep's start-node choice so repeated runs are reproducible end to
+    end.
+    """
+
+    def __init__(self, mode: str, initial: Graph, seed: int = 0):
+        if mode not in METRICS_MODES:
+            raise ValueError(f"unknown metrics mode {mode!r} (one of {METRICS_MODES})")
+        self.mode = mode
+        self.seed = seed
+        self.tracker: Optional[DynamicTreeMetrics] = None
+        if mode in ("auto", "incremental"):
+            try:
+                self.tracker = DynamicTreeMetrics(initial)
+                if self.tracker.n_chords:
+                    raise NotATreeError("initial overlay is not a tree")
+            except ReproError:
+                self.tracker = None
+                if mode == "incremental":
+                    raise
+                self.mode = "double-sweep"
+
+    def measure(self, report, graph_fn: Callable[[], Graph]):
+        """Return ``(connected, diameter, alive_count)`` for this round.
+
+        ``graph_fn`` is only called when the incremental tracker is not
+        (or no longer) usable — the measurement itself never materializes
+        the graph on the fast path.  (The campaign loop's *degree* metric
+        still does; see the runner docstrings.)
+        """
+        if self.tracker is not None:
+            try:
+                self.tracker.apply_report(report)
+                n = len(self.tracker)
+                # n <= 1 yields None, matching the BFS paths below so the
+                # recorded series is mode-independent.
+                return True, (self.tracker.diameter if n > 1 else None), n
+            except ReproError:
+                # The overlay stopped being a tree (disconnection or a
+                # cycle-keeping baseline): degrade to BFS permanently.
+                self.tracker = None
+                if self.mode == "incremental":
+                    raise
+                self.mode = "double-sweep"
+        graph = graph_fn()
+        connected = is_connected(graph)
+        diameter: Optional[int] = None
+        if self.mode != "none" and connected and len(graph) > 1:
+            # The double sweep is exact on trees (all Forgiving Tree
+            # overlays); on baselines' general graphs it is a lower bound.
+            diameter = (
+                diameter_exact(graph)
+                if self.mode == "exact"
+                else diameter_double_sweep(graph, seed=self.seed)
+            )
+        return connected, diameter, len(graph)
 
 
 @dataclass
@@ -100,6 +187,38 @@ class CampaignResult:
         return [getattr(r, attr) for r in self.rounds]
 
 
+def _resolve_metrics(
+    metrics: Optional[str],
+    measure_diameter: bool,
+    exact_diameter: bool,
+    default: str = "double-sweep",
+) -> str:
+    """Back-compat resolution of the legacy flags into a metrics mode."""
+    if metrics is not None:
+        return metrics
+    if not measure_diameter:
+        return "none"
+    return "exact" if exact_diameter else default
+
+
+def _initial_diameter(meter: _DiameterMeter, initial: Graph) -> int:
+    """The campaign's baseline diameter, measured with its own instrument.
+
+    ``diameter_exact`` here would be O(n·m) — at the n = 10k+ scale the
+    incremental path exists for, that one startup call would cost more
+    than every per-round measurement combined.  The stretch denominator
+    therefore uses the same measurement the rounds use (and 0 when the
+    campaign measures no diameters at all — stretch is then vacuous).
+    """
+    if len(initial) <= 1 or meter.mode == "none":
+        return 0
+    if meter.mode == "exact":
+        return diameter_exact(initial)
+    if meter.tracker is not None:
+        return meter.tracker.diameter
+    return diameter_double_sweep(initial, seed=meter.seed)
+
+
 def run_campaign(
     healer: Healer,
     adversary: Adversary,
@@ -108,6 +227,8 @@ def run_campaign(
     exact_diameter: bool = False,
     stop_fraction: float = 0.0,
     on_round: Optional[Callable[[RoundRecord, Healer], None]] = None,
+    metrics: Optional[str] = None,
+    seed: int = 0,
 ) -> CampaignResult:
     """Play the Delete and Repair game.
 
@@ -117,19 +238,33 @@ def run_campaign(
         Number of deletions (default: until one node remains).
     measure_diameter:
         Compute the diameter each round (double sweep unless
-        ``exact_diameter`` — exact on trees either way).
+        ``exact_diameter`` — exact on trees either way).  Legacy flags;
+        ``metrics`` overrides both when given.
     stop_fraction:
         Stop once fewer than this fraction of nodes survive.
     on_round:
         Optional observer called after each round.
+    metrics:
+        One of :data:`METRICS_MODES`.  The deletion game keeps its
+        historical default (the double sweep — a lower bracket on cyclic
+        healed overlays, exact on trees); pass ``"auto"`` or
+        ``"incremental"`` to opt into O(depth)-per-round maintenance
+        (churn campaigns default to it, see :func:`run_churn_campaign`).
+    seed:
+        Campaign seed threaded into the double sweep's start-node choice,
+        making repeated runs reproducible end to end.
     """
     initial = healer.graph()
     n0 = len(initial)
+    meter = _DiameterMeter(
+        _resolve_metrics(metrics, measure_diameter, exact_diameter), initial, seed
+    )
+    d0 = _initial_diameter(meter, initial)
     result = CampaignResult(
         healer_name=healer.name,
         adversary_name=adversary.name,
         n0=n0,
-        initial_diameter=diameter_exact(initial) if n0 > 1 else 0,
+        initial_diameter=d0,
         initial_max_degree=max_degree(initial),
     )
     adversary.reset()
@@ -142,25 +277,18 @@ def run_campaign(
             report = healer.delete(victim)
         except SimulationOverError:
             break
-        graph = healer.graph()
-        connected = is_connected(graph)
-        diameter: Optional[int] = None
-        if measure_diameter and connected and len(graph) > 1:
-            diameter = (
-                diameter_exact(graph)
-                if exact_diameter
-                else diameter_double_sweep(graph)
-            )
+        connected, diameter, alive = meter.measure(report, healer.graph)
         record = RoundRecord(
             round=t + 1,
             deleted=victim,
-            alive=len(graph),
+            alive=alive,
             max_degree_increase=healer.max_degree_increase(),
             diameter=diameter,
             connected=connected,
             edges_added=len(report.edges_added),
             total_messages=report.total_messages,
             max_messages_per_node=report.max_messages_per_node,
+            stretch=(diameter / d0) if diameter is not None and d0 > 0 else None,
         )
         result.rounds.append(record)
         if on_round is not None:
@@ -174,6 +302,8 @@ def duel(
     adversary_factory: Callable[[], Adversary],
     rounds: Optional[int] = None,
     exact_diameter: bool = False,
+    metrics: Optional[str] = None,
+    seed: int = 0,
 ) -> Dict[str, CampaignResult]:
     """Run the same attack against several healers on the same graph."""
     out: Dict[str, CampaignResult] = {}
@@ -184,6 +314,8 @@ def duel(
             adversary_factory(),
             rounds=rounds,
             exact_diameter=exact_diameter,
+            metrics=metrics,
+            seed=seed,
         )
         out[result.healer_name] = result
     return out
@@ -196,22 +328,41 @@ def run_churn_campaign(
     measure_diameter: bool = True,
     exact_diameter: bool = False,
     on_round: Optional[Callable[[RoundRecord, Healer], None]] = None,
+    metrics: Optional[str] = None,
+    seed: int = 0,
 ) -> CampaignResult:
     """Play the churn game: a mixed insert/delete stream against one healer.
 
-    Each round the adversary emits an :class:`~repro.churn.Insert` or a
+    Each round the adversary emits an :class:`~repro.churn.Insert`, an
+    :class:`~repro.churn.InsertWave` (batch join, applied through
+    :meth:`~repro.baselines.base.Healer.insert_batch`), or a
     :class:`~repro.churn.Delete` after seeing the healed graph; the healer
     applies it; the record tracks the usual success metrics plus alive-set
-    growth.  Stops early when the adversary runs out of events
-    (:class:`SimulationOverError`) or the network empties.
+    growth and per-round stretch.  Stops early when the adversary runs out
+    of events (:class:`SimulationOverError`) or the network empties.
+
+    ``metrics`` selects the diameter measurement (:data:`METRICS_MODES`);
+    churn campaigns default to ``"auto"``: the diameter is maintained
+    incrementally in O(depth) per round — exact on tree overlays, the
+    tree-overlay upper bracket when heals keep chords — which is cheap
+    enough that per-round diameter/stretch stays on by default at
+    n = 10k+.  Campaigns over non-tree inputs (or that disconnect) fall
+    back to the BFS double sweep.  ``seed`` threads the campaign seed
+    into the fallback sweep for end-to-end reproducibility.
     """
     initial = healer.graph()
     n0 = len(initial)
+    meter = _DiameterMeter(
+        _resolve_metrics(metrics, measure_diameter, exact_diameter, default="auto"),
+        initial,
+        seed,
+    )
+    d0 = _initial_diameter(meter, initial)
     result = CampaignResult(
         healer_name=healer.name,
         adversary_name=adversary.name,
         n0=n0,
-        initial_diameter=diameter_exact(initial) if n0 > 1 else 0,
+        initial_diameter=d0,
         initial_max_degree=max_degree(initial),
     )
     adversary.reset()
@@ -222,24 +373,18 @@ def run_churn_campaign(
             event = adversary.next_event(healer)
             if isinstance(event, Insert):
                 report = healer.insert(event.nid, event.attach_to)
+            elif isinstance(event, InsertWave):
+                report = healer.insert_batch(event.joiners)
             else:
                 assert isinstance(event, Delete)
                 report = healer.delete(event.nid)
         except SimulationOverError:
             break
-        graph = healer.graph()
-        connected = is_connected(graph)
-        diameter: Optional[int] = None
-        if measure_diameter and connected and len(graph) > 1:
-            diameter = (
-                diameter_exact(graph)
-                if exact_diameter
-                else diameter_double_sweep(graph)
-            )
+        connected, diameter, alive = meter.measure(report, healer.graph)
         record = RoundRecord(
             round=t + 1,
             deleted=report.deleted,
-            alive=len(graph),
+            alive=alive,
             max_degree_increase=healer.max_degree_increase(),
             diameter=diameter,
             connected=connected,
@@ -248,6 +393,13 @@ def run_churn_campaign(
             max_messages_per_node=report.max_messages_per_node,
             event="insert" if report.is_insertion else "delete",
             inserted=report.inserted,
+            # A wave of one is indistinguishable from a single insert
+            # (the engine routes singles through the batch path), so only
+            # true multi-joiner waves mark the record.
+            wave_size=(
+                len(report.inserted_batch) if len(report.inserted_batch) > 1 else 0
+            ),
+            stretch=(diameter / d0) if diameter is not None and d0 > 0 else None,
         )
         result.rounds.append(record)
         if on_round is not None:
@@ -261,6 +413,8 @@ def churn_duel(
     adversary_factory: Callable[[], ChurnAdversary],
     events: int,
     exact_diameter: bool = False,
+    metrics: Optional[str] = None,
+    seed: int = 0,
 ) -> Dict[str, CampaignResult]:
     """Run the same churn stream against several healers on the same graph."""
     out: Dict[str, CampaignResult] = {}
@@ -271,6 +425,8 @@ def churn_duel(
             adversary_factory(),
             events=events,
             exact_diameter=exact_diameter,
+            metrics=metrics,
+            seed=seed,
         )
         out[result.healer_name] = result
     return out

@@ -13,6 +13,7 @@ from repro.adversaries import (
     OscillatingChurnAdversary,
     RandomChurnAdversary,
     TraceReplayAdversary,
+    WaveChurnAdversary,
 )
 from repro.baselines import (
     BinaryTreeHealer,
@@ -21,7 +22,7 @@ from repro.baselines import (
     NoRepairHealer,
     SurrogateHealer,
 )
-from repro.churn import ChurnTrace, Delete, Insert, synthetic_skype_outage
+from repro.churn import ChurnTrace, Delete, Insert, InsertWave, synthetic_skype_outage
 from repro.core.errors import (
     DuplicateNodeError,
     NodeNotFoundError,
@@ -406,6 +407,132 @@ class TestDistributedInsert:
                 seq.delete(victim)
                 dist.delete(victim)
             assert seq.edges() == dist.edges()
+
+
+class TestDistributedInsertBatch:
+    def test_wave_of_one_equals_single_insert(self):
+        tree = {0: [1, 2], 1: [3]}
+        seq_single = ForgivingTree(tree, strict=True)
+        r_single = seq_single.insert(9, 1)
+        dist = DistributedForgivingTree(tree)
+        stats = dist.insert_batch([(9, 1)])
+        assert r_single.messages_per_node == stats.sent
+
+    def test_batch_rejects_bad_waves(self):
+        dist = DistributedForgivingTree({0: [1, 2]})
+        with pytest.raises(ValueError):
+            dist.insert_batch([])
+        with pytest.raises(DuplicateNodeError):
+            dist.insert_batch([(5, 0), (5, 1)])
+        with pytest.raises(DuplicateNodeError):
+            dist.insert_batch([(1, 0)])
+        with pytest.raises(NodeNotFoundError):
+            dist.insert_batch([(5, 0), (6, 5)])  # same-wave attachment
+        with pytest.raises(NodeNotFoundError):
+            dist.insert_batch([(5, 99)])
+        assert dist.alive == {0, 1, 2}
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_batch_message_parity_random_waves(self, seed):
+        """Sequential and distributed runtimes agree edge-for-edge and
+        message-for-message across random wave sizes mixed with single
+        inserts and deletions (extends the per-insertion cross-check)."""
+        rng = random.Random(seed)
+        n0 = rng.randint(2, 16)
+        tree = generators.random_tree(n0, seed=rng.randint(0, 10**6))
+        seq = ForgivingTree(tree, strict=True)
+        dist = DistributedForgivingTree(tree)
+        nxt = 1000
+        for _ in range(30):
+            alive = sorted(seq.alive)
+            roll = rng.random()
+            if len(alive) <= 1 or roll < 0.4:
+                wave = []
+                for _ in range(rng.randint(1, 6)):
+                    wave.append((nxt, rng.choice(alive)))
+                    nxt += 1
+                report = seq.insert_batch(wave)
+                stats = dist.insert_batch(wave)
+                assert report.messages_per_node == stats.sent
+                assert report.inserted_batch == tuple(wave)
+            elif roll < 0.65:
+                target = rng.choice(alive)
+                report = seq.insert(nxt, target)
+                stats = dist.insert(nxt, target)
+                assert report.messages_per_node == stats.sent
+                nxt += 1
+            else:
+                victim = rng.choice(alive)
+                seq.delete(victim)
+                dist.delete(victim)
+            assert seq.edges() == dist.edges()
+
+    def test_wave_members_heal_like_any_other(self):
+        tree = generators.random_tree(8, seed=3)
+        seq = ForgivingTree(tree, strict=True)
+        dist = DistributedForgivingTree(tree)
+        wave = [(100 + i, i % 4) for i in range(8)]
+        seq.insert_batch(wave)
+        dist.insert_batch(wave)
+        rng = random.Random(3)
+        for _ in range(10):
+            victim = rng.choice(sorted(seq.alive))
+            seq.delete(victim)
+            dist.delete(victim)
+            assert seq.edges() == dist.edges()
+
+
+class TestWaveChurnAdversary:
+    def test_emits_waves_with_fresh_ids_and_live_targets(self):
+        healer = ForgivingTreeHealer(
+            {k: set(v) for k, v in generators.random_tree(15, seed=2).items()}
+        )
+        adv = WaveChurnAdversary(wave=4, p_wave=1.0, seed=0)
+        seen = set(healer.alive)
+        for _ in range(10):
+            event = adv.next_event(healer)
+            assert isinstance(event, InsertWave)
+            assert len(event.joiners) == 4
+            for nid, attach_to in event.joiners:
+                assert nid not in seen
+                assert attach_to in healer.alive
+                seen.add(nid)
+            healer.insert_batch(event.joiners)
+
+    def test_deterministic_after_reset(self):
+        healer = ForgivingTreeHealer(
+            {k: set(v) for k, v in generators.random_tree(10, seed=1).items()}
+        )
+        adv = WaveChurnAdversary(wave=3, p_wave=0.5, seed=11)
+        first = [adv.next_event(healer) for _ in range(8)]
+        adv.reset()
+        second = [adv.next_event(healer) for _ in range(8)]
+        assert first == second
+
+    def test_baseline_healers_accept_waves(self):
+        for factory in (SurrogateHealer, LineHealer, BinaryTreeHealer, NoRepairHealer):
+            healer = factory({0: {1, 2}, 1: {0}, 2: {0}})
+            report = healer.insert_batch([(9, 0), (10, 2)])
+            assert report.is_insertion and report.inserted_batch == ((9, 0), (10, 2))
+            assert {9, 10} <= healer.alive
+            assert healer.rounds == 1
+
+    def test_baseline_wave_rejection_is_atomic(self):
+        """A rejected wave must leave no partial state behind — the same
+        atomicity the engines give (regression: the default healer used
+        to apply earlier joiners before hitting the bad one)."""
+        healer = LineHealer({0: {1}, 1: {0}})
+        for bad_wave, exc in (
+            ([(5, 0), (6, 99)], NodeNotFoundError),  # dead attach point
+            ([(5, 0), (6, 5)], NodeNotFoundError),  # same-wave attachment
+            ([(5, 0), (5, 1)], DuplicateNodeError),  # dup within wave
+            ([(5, 0), (1, 0)], DuplicateNodeError),  # id reuse
+            ([], ValueError),
+        ):
+            with pytest.raises(exc):
+                healer.insert_batch(bad_wave)
+            assert healer.alive == {0, 1}
+            assert healer.rounds == 0
 
 
 class TestAcceptanceCriterion:

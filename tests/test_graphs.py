@@ -117,6 +117,85 @@ class TestMetrics:
         with pytest.raises(DisconnectedGraphError):
             metrics.eccentricity({0: set(), 1: set()}, 0)
 
+    def test_every_metric_rejects_empty(self):
+        for fn in (
+            metrics.diameter_exact,
+            metrics.diameter_double_sweep,
+            metrics.diameter,
+            metrics.radius,
+            metrics.center,
+        ):
+            with pytest.raises(EmptyStructureError):
+                fn({})
+
+    def test_singleton_graph(self):
+        g = {7: set()}
+        assert metrics.diameter_exact(g) == 0
+        assert metrics.diameter_double_sweep(g) == 0
+        assert metrics.diameter(g, exact=False) == 0
+        assert metrics.radius(g) == 0
+        assert metrics.center(g) == {7}
+        assert metrics.eccentricity(g, 7) == 0
+
+    def test_every_metric_rejects_disconnected(self):
+        g = {0: {1}, 1: {0}, 2: {3}, 3: {2}}
+        with pytest.raises(DisconnectedGraphError):
+            metrics.diameter_exact(g)
+        with pytest.raises(DisconnectedGraphError):
+            metrics.diameter_double_sweep(g)
+        with pytest.raises(DisconnectedGraphError):
+            metrics.radius(g)
+        with pytest.raises(DisconnectedGraphError):
+            metrics.center(g)
+
+    def test_diameter_dispatch(self):
+        g = gen.random_tree(20, seed=5)
+        assert metrics.diameter(g, exact=True) == metrics.diameter_exact(g)
+        assert metrics.diameter(g, exact=False, seed=3) == metrics.diameter_double_sweep(
+            g, seed=3
+        )
+
+    def test_double_sweep_deterministic_per_seed(self):
+        g = gen.random_connected_gnp(30, 0.12, seed=7)
+        for seed in range(5):
+            assert metrics.diameter_double_sweep(g, seed) == metrics.diameter_double_sweep(
+                g, seed
+            )
+
+    def test_radius_center_on_paths_and_stars(self):
+        even = gen.path(10)  # two central nodes
+        assert metrics.radius(even) == 5
+        assert metrics.center(even) == {4, 5}
+        star = gen.star(6)
+        assert metrics.radius(star) == 1
+        assert metrics.center(star) == {0}
+        assert metrics.diameter_exact(star) == 2
+        two = gen.path(2)  # every node is central
+        assert metrics.radius(two) == 1
+        assert metrics.center(two) == {0, 1}
+
+    def test_max_stretch_sampling_determinism(self):
+        before = gen.random_tree(40, seed=1)
+        after = gen.random_tree(40, seed=2)
+        a = metrics.max_stretch(before, after, sample=30, seed=5)
+        b = metrics.max_stretch(before, after, sample=30, seed=5)
+        assert a == b  # same seed, same sampled pairs
+        full = metrics.max_stretch(before, after)
+        assert a <= full  # sampling can only miss the max
+
+    def test_max_stretch_degenerate_inputs(self):
+        assert metrics.max_stretch({0: set()}, {0: set()}) == 1.0
+        assert metrics.max_stretch({0: {1}, 1: {0}}, {5: {6}, 6: {5}}) == 1.0
+        assert metrics.max_stretch({0: set()}, {0: set()}, sample=10) == 1.0
+
+    def test_pairwise_stretch_explicit_pairs_and_dead_nodes(self):
+        before = gen.path(4)
+        after = {0: {1}, 1: {0, 3}, 3: {1}}  # node 2 died, 1-3 bridged
+        out = metrics.pairwise_stretch(before, after, pairs=[(0, 3), (1, 3)])
+        assert out[(0, 3)] == 2 / 3 and out[(1, 3)] == 1 / 2
+        # pairs involving dead nodes are skipped silently
+        assert metrics.pairwise_stretch(before, after, pairs=[(0, 2)]) == {}
+
 
 class TestSpanning:
     def test_bfs_tree_is_shortest_path_tree(self):

@@ -1,0 +1,422 @@
+"""Test wall for the incremental diameter engine and batch insert waves.
+
+Cross-validates :class:`~repro.graphs.incremental.DynamicTreeMetrics`
+against ``diameter_exact`` after **every** event of randomized churn
+traces (well over 25 fixed seeds), property-fuzzes it with Hypothesis,
+and pins down the batch-insert equivalence: ``insert_batch`` must produce
+a structure identical to the same inserts applied sequentially.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ForgivingTree
+from repro.adversaries import RandomChurnAdversary, WaveChurnAdversary
+from repro.baselines import (
+    BinaryTreeHealer,
+    ForgivingTreeHealer,
+    LineHealer,
+    NoRepairHealer,
+    SurrogateHealer,
+)
+from repro.churn import Insert
+from repro.core.errors import (
+    DuplicateNodeError,
+    EmptyStructureError,
+    NodeNotFoundError,
+    NotATreeError,
+)
+from repro.graphs import generators
+from repro.graphs.incremental import DynamicTreeMetrics
+from repro.graphs.metrics import diameter_exact
+from repro.harness import run_churn_campaign
+
+
+class TestDynamicTreeMetricsBasics:
+    def test_matches_exact_on_fixed_families(self):
+        for graph in (
+            generators.path(1),
+            generators.path(2),
+            generators.path(17),
+            generators.star(9),
+            generators.balanced_tree(2, 4),
+            generators.random_tree(40, seed=3),
+        ):
+            assert DynamicTreeMetrics(graph).diameter == diameter_exact(graph)
+
+    def test_empty_and_singleton(self):
+        dtm = DynamicTreeMetrics({})
+        assert len(dtm) == 0
+        with pytest.raises(EmptyStructureError):
+            dtm.diameter
+        dtm = DynamicTreeMetrics({5: set()})
+        assert dtm.diameter == 0 and 5 in dtm
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(NotATreeError):
+            DynamicTreeMetrics({0: {1}, 1: {0}, 2: set()})
+
+    def test_cyclic_input_tracks_chords(self):
+        dtm = DynamicTreeMetrics(generators.cycle(6))
+        assert dtm.n_chords == 1 and not dtm.is_exact
+        assert dtm.diameter >= diameter_exact(generators.cycle(6))
+
+    def test_insert_leaf_updates_exactly(self):
+        graph = generators.random_tree(12, seed=1)
+        dtm = DynamicTreeMetrics(graph)
+        current = {k: set(v) for k, v in graph.items()}
+        for i, attach in enumerate([0, 3, 100, 101, 5]):
+            nid = 100 + i if attach != 100 else 200
+            dtm.insert_leaf(nid, attach)
+            current[nid] = {attach}
+            current[attach].add(nid)
+            assert dtm.diameter == diameter_exact(current)
+            dtm.check()
+
+    def test_insert_leaf_errors(self):
+        dtm = DynamicTreeMetrics(generators.path(3))
+        with pytest.raises(DuplicateNodeError):
+            dtm.insert_leaf(1, 0)
+        with pytest.raises(NodeNotFoundError):
+            dtm.insert_leaf(9, 77)
+
+    def test_empties_and_regrows(self):
+        dtm = DynamicTreeMetrics({0: {1}, 1: {0}})
+        dtm.apply_delete(1, added=(), removed=((0, 1),))
+        assert dtm.diameter == 0
+        dtm.apply_delete(0, added=(), removed=())
+        assert len(dtm) == 0
+        dtm.check()
+        dtm.insert_leaf(7, 7)  # first node of a re-growing network
+        assert dtm.diameter == 0 and dtm.root == 7
+        dtm.insert_leaf(8, 7)
+        assert dtm.diameter == 1
+        dtm.check()
+
+    def test_delete_victim_not_found(self):
+        dtm = DynamicTreeMetrics(generators.path(3))
+        with pytest.raises(NodeNotFoundError):
+            dtm.apply_delete(42, added=(), removed=())
+
+    def test_disconnection_raises(self):
+        dtm = DynamicTreeMetrics(generators.path(4))
+        with pytest.raises(NotATreeError):
+            # deleting interior node 1 with no heal edge splits the path
+            dtm.apply_delete(1, added=(), removed=((0, 1), (1, 2)))
+
+
+def _tree_preserving_trace(healer_cls, n0, seed, events=70, p_insert=0.45):
+    """Drive a tree-preserving healer under random churn, cross-validating
+    the incremental diameter against ``diameter_exact`` after every event."""
+    tree = generators.random_tree(n0, seed=seed)
+    healer = healer_cls({k: set(v) for k, v in tree.items()})
+    tracker = DynamicTreeMetrics(tree)
+    adversary = RandomChurnAdversary(p_insert=p_insert, seed=seed)
+    adversary.reset()
+    for _ in range(events):
+        event = adversary.next_event(healer)
+        if isinstance(event, Insert):
+            report = healer.insert(event.nid, event.attach_to)
+        else:
+            report = healer.delete(event.nid)
+        tracker.apply_report(report)
+        graph = healer.graph()
+        assert tracker.is_exact, "tree-preserving heal produced a chord"
+        assert tracker.diameter == diameter_exact(graph)
+        assert len(tracker) == len(graph)
+
+
+class TestChurnTraceCrossValidation:
+    """The wall: >= 25 seeded churn traces, every event cross-validated."""
+
+    @pytest.mark.parametrize("seed", range(13))
+    def test_line_healer_traces_match_exact(self, seed):
+        _tree_preserving_trace(LineHealer, 12 + seed % 20, seed)
+
+    @pytest.mark.parametrize("seed", range(13))
+    def test_binary_tree_healer_traces_match_exact(self, seed):
+        _tree_preserving_trace(BinaryTreeHealer, 10 + seed % 25, seed + 100)
+
+    @pytest.mark.parametrize("seed", range(13))
+    def test_surrogate_healer_traces_match_exact(self, seed):
+        _tree_preserving_trace(SurrogateHealer, 10 + seed % 25, seed + 200)
+
+    @pytest.mark.parametrize("seed", range(13))
+    def test_forgiving_tree_traces_bracket_exact(self, seed):
+        """On the Forgiving Tree's image (which keeps short heal chords)
+        the tracker mirrors the adjacency edge-for-edge, its aggregates
+        survive a from-scratch recheck after every event, and its value
+        equals ``diameter_exact`` exactly whenever the image is a tree —
+        bracketing it from above (within the chord slack) otherwise."""
+        rng = random.Random(seed)
+        tree = generators.random_tree(5 + seed % 30, seed=seed)
+        ft = ForgivingTree(tree)
+        tracker = DynamicTreeMetrics(tree)
+        nxt = 10_000
+        for _ in range(70):
+            alive = sorted(ft.alive)
+            if len(alive) <= 1 or rng.random() < 0.45:
+                report = ft.insert(nxt, rng.choice(alive))
+                nxt += 1
+            else:
+                report = ft.delete(rng.choice(alive))
+            tracker.apply_report(report)
+            tracker.check()  # incremental aggregates == from-scratch BFS
+            image = ft.adjacency()
+            assert {k: set(v) for k, v in image.items()} == tracker._adj
+            if len(image) > 1:
+                d_exact = diameter_exact(image)
+                if tracker.is_exact:
+                    assert tracker.diameter == d_exact
+                else:
+                    assert d_exact <= tracker.diameter <= d_exact + 2 * tracker.n_chords
+
+
+class TestHypothesisProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        script=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=10**6)),
+            min_size=1,
+            max_size=50,
+        ),
+    )
+    def test_any_interleaving_matches_exact_on_line_healer(self, seed, script):
+        tree = generators.random_tree(2 + seed % 14, seed=seed)
+        healer = LineHealer({k: set(v) for k, v in tree.items()})
+        tracker = DynamicTreeMetrics(tree)
+        nxt = 10_000
+        for is_insert, pick in script:
+            alive = sorted(healer.alive)
+            if len(alive) <= 1:
+                is_insert = True
+            target = alive[pick % len(alive)]
+            if is_insert:
+                report = healer.insert(nxt, target)
+                nxt += 1
+            else:
+                report = healer.delete(target)
+            tracker.apply_report(report)
+            tracker.check()
+            assert tracker.diameter == diameter_exact(healer.graph())
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        script=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=10**6)),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    def test_any_interleaving_brackets_exact_on_forgiving_tree(self, seed, script):
+        tree = generators.random_tree(2 + seed % 12, seed=seed)
+        ft = ForgivingTree(tree)
+        tracker = DynamicTreeMetrics(tree)
+        nxt = 10_000
+        for is_insert, pick in script:
+            alive = sorted(ft.alive)
+            if len(alive) <= 1:
+                is_insert = True
+            target = alive[pick % len(alive)]
+            if is_insert:
+                report = ft.insert(nxt, target)
+                nxt += 1
+            else:
+                report = ft.delete(target)
+            tracker.apply_report(report)
+            tracker.check()
+            image = ft.adjacency()
+            assert {k: set(v) for k, v in image.items()} == tracker._adj
+            if len(image) > 1 and tracker.is_exact:
+                assert tracker.diameter == diameter_exact(image)
+
+
+def _wave_script(seed, n_waves=8, max_wave=6):
+    """Random (wave, deletions) interleavings with deterministic ids."""
+    rng = random.Random(seed)
+    return rng, [rng.randint(1, max_wave) for _ in range(n_waves)]
+
+
+class TestInsertBatchIsomorphism:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_batch_identical_to_sequential(self, seed):
+        """``insert_batch`` must yield a structure *identical* to the same
+        inserts applied one by one: image edges, wills, heirs, baselines."""
+        rng, waves = _wave_script(seed)
+        tree = generators.random_tree(4 + seed % 12, seed=seed)
+        batched = ForgivingTree(tree, strict=True)
+        sequential = ForgivingTree(tree, strict=True)
+        nxt = 1000
+        for size in waves:
+            alive = sorted(batched.alive)
+            wave = []
+            for _ in range(size):
+                wave.append((nxt, rng.choice(alive)))
+                nxt += 1
+            batched.insert_batch(wave)
+            for nid, attach_to in wave:
+                sequential.insert(nid, attach_to)
+            victim = rng.choice(sorted(batched.alive))
+            if len(batched) > 1:
+                batched.delete(victim)
+                sequential.delete(victim)
+            assert batched.edges() == sequential.edges()
+            assert batched.alive == sequential.alive
+            assert batched.original_degree == sequential.original_degree
+            for nid in batched.alive:
+                assert (
+                    batched.will_of(nid).as_shape()
+                    == sequential.will_of(nid).as_shape()
+                )
+                assert batched.heir_of(nid) == sequential.heir_of(nid)
+
+    def test_wave_amortizes_portion_traffic(self):
+        """The point of batching: portions retransmit once per touched
+        stand-in per wave, so a k-wave at one attachment point costs
+        strictly fewer portion messages than k sequential inserts."""
+        from repro.core.events import WillPortionSent
+
+        tree = {0: [1, 2], 1: [3, 4]}
+        wave = [(100 + i, 1) for i in range(6)]
+        batched = ForgivingTree(tree)
+        report = batched.insert_batch(wave)
+        batch_portions = sum(
+            1 for e in report.events if isinstance(e, WillPortionSent)
+        )
+        sequential = ForgivingTree(tree)
+        seq_portions = 0
+        for nid, attach_to in wave:
+            r = sequential.insert(nid, attach_to)
+            seq_portions += sum(
+                1 for e in r.events if isinstance(e, WillPortionSent)
+            )
+        assert batched.edges() == sequential.edges()
+        assert batch_portions < seq_portions
+
+    def test_batch_validation_errors(self):
+        ft = ForgivingTree({0: [1, 2]})
+        with pytest.raises(ValueError):
+            ft.insert_batch([])
+        with pytest.raises(DuplicateNodeError):
+            ft.insert_batch([(5, 0), (5, 1)])
+        with pytest.raises(DuplicateNodeError):
+            ft.insert_batch([(1, 0)])  # id 1 already exists
+        with pytest.raises(NodeNotFoundError):
+            ft.insert_batch([(5, 0), (6, 5)])  # attach to same-wave joiner
+        with pytest.raises(NodeNotFoundError):
+            ft.insert_batch([(5, 99)])
+        # failed validation must not have mutated anything
+        assert ft.alive == {0, 1, 2}
+        ft.check()
+
+
+class TestHarnessIncrementalMode:
+    def test_incremental_campaign_matches_exact_per_round(self):
+        tree = generators.random_tree(35, seed=4)
+        healer = LineHealer({k: set(v) for k, v in tree.items()})
+        mismatches = []
+
+        def observe(rec, h):
+            if rec.diameter is not None:
+                if rec.diameter != diameter_exact(h.graph()):
+                    mismatches.append(rec.round)
+
+        result = run_churn_campaign(
+            healer,
+            RandomChurnAdversary(p_insert=0.5, seed=4),
+            events=80,
+            metrics="incremental",
+            on_round=observe,
+        )
+        assert len(result.rounds) == 80 and not mismatches
+        assert all(
+            r.stretch == r.diameter / result.initial_diameter
+            for r in result.rounds
+            if r.diameter is not None
+        )
+
+    def test_wave_adversary_through_harness(self):
+        tree = generators.random_tree(30, seed=2)
+        healer = ForgivingTreeHealer({k: set(v) for k, v in tree.items()})
+        result = run_churn_campaign(
+            healer,
+            WaveChurnAdversary(wave=5, p_wave=0.4, seed=2),
+            events=60,
+            metrics="incremental",
+        )
+        waves = [r for r in result.rounds if r.wave_size > 1]
+        assert waves and all(r.event == "insert" for r in waves)
+        assert result.stayed_connected
+        assert result.peak_degree_increase <= 3
+        assert result.net_growth > 0
+
+    def test_auto_mode_degrades_on_disconnection(self):
+        tree = generators.random_tree(20, seed=1)
+        healer = NoRepairHealer({k: set(v) for k, v in tree.items()})
+        result = run_churn_campaign(
+            healer, RandomChurnAdversary(p_insert=0.2, seed=9), events=30
+        )
+        assert len(result.rounds) == 30
+        assert not result.stayed_connected  # no-repair fragments the tree
+
+    def test_incremental_mode_rejects_cyclic_start(self):
+        graph = generators.random_connected_gnp(20, 0.3, seed=1)
+        healer = SurrogateHealer({k: set(v) for k, v in graph.items()})
+        with pytest.raises(NotATreeError):
+            run_churn_campaign(
+                healer,
+                RandomChurnAdversary(seed=1),
+                events=5,
+                metrics="incremental",
+            )
+
+    def test_campaign_seed_reproducibility(self):
+        tree = generators.random_tree(25, seed=6)
+
+        def run():
+            healer = SurrogateHealer(
+                {k: set(v) for k, v in generators.random_connected_gnp(25, 0.15, seed=6).items()}
+            )
+            result = run_churn_campaign(
+                healer,
+                RandomChurnAdversary(p_insert=0.4, seed=6),
+                events=40,
+                metrics="double-sweep",
+                seed=123,
+            )
+            return result.series("diameter")
+
+        assert run() == run()
+
+
+class TestGeneralizedCascadeRegression:
+    def test_donor_steal_of_cascade_target(self):
+        """Hypothesis-found endgame (tree_seed=605, order_seed=2259,
+        branching=3): the leaf-will donor search splices the deferred
+        cascade target; the cascade must then not touch the destroyed
+        helper (double-destroy KeyError before the fix)."""
+        tree = generators.random_tree(35, 605)
+        ft = ForgivingTree(tree, strict=True, branching=3)
+        order = sorted(tree)
+        random.Random(2259).shuffle(order)
+        for nid in order:
+            ft.delete(nid)
+        assert len(ft) == 0
+
+    def test_role_emptied_by_parent_collapse_vanishes(self):
+        """Hypothesis-found endgame (tree_seed=0, order_seed=0, n=42,
+        branching=3): a dying leaf's non-adjacent role loses its only
+        child when the parent helper dissolves; the now-childless role
+        must vanish instead of hunting a donor to inherit nothing
+        (donor exhaustion before the fix)."""
+        tree = generators.random_tree(42, 0)
+        ft = ForgivingTree(tree, strict=True, branching=3)
+        order = sorted(tree)
+        random.Random(0).shuffle(order)
+        for nid in order:
+            ft.delete(nid)
+        assert len(ft) == 0
