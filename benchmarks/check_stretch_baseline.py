@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_stretch.json against the committed baseline.
+
+CI runs ``bench_stretch`` in quick mode (seed-deterministic) and then
+calls this script with the committed copy to flag stretch/degree
+regressions in the workflow summary.  Only the ``baseline`` section is
+compared — wall times never participate.
+
+Usage::
+
+    python benchmarks/check_stretch_baseline.py COMMITTED FRESH
+
+Exit status 1 on drift.  When ``GITHUB_STEP_SUMMARY`` is set, a markdown
+report is appended to it as well as printed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+#: Relative slack on per-round stretch trajectory points.  The rows are
+#: seeded end-to-end so they normally match exactly; the tolerance only
+#: absorbs float formatting differences.
+TRAJECTORY_TOLERANCE = 1e-6
+
+
+def load_baseline(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if "baseline" not in data:
+        raise SystemExit(f"{path}: no 'baseline' section (regenerate the bench)")
+    return data["baseline"]
+
+
+def diff(committed: dict, fresh: dict) -> list:
+    problems = []
+    old_rows = {tuple(r[:3]): r for r in committed["rows"]}
+    new_rows = {tuple(r[:3]): r for r in fresh["rows"]}
+    for key in sorted(old_rows.keys() | new_rows.keys()):
+        if key not in new_rows:
+            problems.append(f"row vanished: {key}")
+        elif key not in old_rows:
+            problems.append(f"new row (commit the regenerated baseline): {key}")
+        elif old_rows[key] != new_rows[key]:
+            problems.append(
+                f"row drifted: {key}\n    committed: {old_rows[key]}\n"
+                f"    fresh:     {new_rows[key]}"
+            )
+    old_t, new_t = committed["trajectories"], fresh["trajectories"]
+    for key in sorted(old_t.keys() | new_t.keys()):
+        a, b = old_t.get(key), new_t.get(key)
+        if a is None or b is None or len(a) != len(b):
+            problems.append(f"trajectory shape changed: {key}")
+        elif any(abs(x - y) > TRAJECTORY_TOLERANCE for x, y in zip(a, b)):
+            problems.append(f"trajectory drifted: {key}")
+    return problems
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    committed = load_baseline(argv[1])
+    fresh = load_baseline(argv[2])
+    problems = diff(committed, fresh)
+    if problems:
+        lines = ["## EXP-STRETCH-DUEL baseline drift", ""]
+        lines += [f"- {p}" for p in problems]
+        lines.append(
+            "\nIf the change is intentional, regenerate with "
+            "`CHURN_BENCH_QUICK=1 PYTHONPATH=src python -m benchmarks.bench_stretch` "
+            "and commit `benchmarks/out/BENCH_stretch.json`."
+        )
+    else:
+        lines = [
+            "## EXP-STRETCH-DUEL baseline",
+            "",
+            f"stable: {len(fresh['rows'])} rows, "
+            f"{len(fresh['trajectories'])} trajectories match the committed "
+            "baseline.",
+        ]
+    text = "\n".join(lines)
+    print(text)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as fh:
+            fh.write(text + "\n")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -26,6 +26,12 @@ Public entry points
     The churn model (The Forgiving Graph, PODC 2009): node insertions as
     first-class events, recorded traces, and mixed insert/delete
     campaigns (see docs/CHURN.md).
+:mod:`repro.fgraph`
+    The Forgiving Graph healing structure itself (PODC 2009):
+    weight-balanced reconstruction trees over subtree weights for
+    degree increase <= 3 *and* O(log n) stretch on general graphs under
+    churn, sequential + counted-message distributed runtimes (see
+    docs/FORGIVING_GRAPH.md).
 """
 
 from .core import (
@@ -39,9 +45,12 @@ from .core import (
     VirtualTree,
 )
 
-__version__ = "1.0.0"
+from .fgraph import ForgivingGraph
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "ForgivingGraph",
     "ForgivingTree",
     "HealReport",
     "HelperState",

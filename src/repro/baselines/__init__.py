@@ -11,9 +11,20 @@ from .naive import (
     healer_catalog,
 )
 
+def __getattr__(name):
+    # Lazy re-export: fgraph.healer itself imports baselines.base, so a
+    # module-level import here would cycle when repro.fgraph loads first.
+    if name == "ForgivingGraphHealer":
+        from ..fgraph.healer import ForgivingGraphHealer
+
+        return ForgivingGraphHealer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BinaryTreeHealer",
     "DegreeCappedSurrogateHealer",
+    "ForgivingGraphHealer",
     "ForgivingTreeHealer",
     "Healer",
     "LineHealer",

@@ -195,10 +195,12 @@ class DegreeCappedSurrogateHealer(_GraphHealer):
 
 def healer_catalog():
     """Name -> factory for every baseline healer (used by the harness)."""
+    from ..fgraph.healer import ForgivingGraphHealer
     from .forgiving import ForgivingTreeHealer
 
     return {
         ForgivingTreeHealer.name: ForgivingTreeHealer,
+        ForgivingGraphHealer.name: ForgivingGraphHealer,
         SurrogateHealer.name: SurrogateHealer,
         LineHealer.name: LineHealer,
         BinaryTreeHealer.name: BinaryTreeHealer,

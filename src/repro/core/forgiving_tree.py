@@ -595,7 +595,18 @@ class ForgivingTree:
                 kind, key = ref
                 node = anchors[key] if kind == "leaf" else new_helpers[key]
                 vt.attach(node, helper)
-        rv: VTNode = new_helpers[will.root_sim()] if new_helpers else anchors[will.stand_ins[0]]
+
+        def subrt_root() -> VTNode:
+            # Late-bound on purpose: donor stealing (steal_from_anchors)
+            # may still replace a one-child anchor by its child — and
+            # destroy the anchor helper — between here and the top
+            # attachment.  A snapshot taken now could re-attach that
+            # destroyed helper.
+            return (
+                new_helpers[will.root_sim()]
+                if new_helpers
+                else anchors[will.stand_ins[0]]
+            )
 
         # --- top attachment -----------------------------------------------
         if role is not None:
@@ -641,6 +652,7 @@ class ForgivingTree:
             old_sim = vt.transfer_role(role, inheritor)
             self._events.append(HelperTransferred(role.hid, old_sim, inheritor))
             self._tally.send(inheritor, len(role.children) + 1)  # introduces itself
+            rv = subrt_root()
             if parent_pos is None:
                 # Generalized-b only: a donor-granted role on the root.
                 if self.branching == 2:
@@ -673,6 +685,7 @@ class ForgivingTree:
                 # structural optimization, not a necessity — skip it and
                 # attach the SubRT root directly.
                 ready_sim = None
+            rv = subrt_root()
             if ready_sim is None:
                 if parent_pos is None:
                     vt.set_root(None)
@@ -786,20 +799,49 @@ class ForgivingTree:
                     cascade_standin = freed
                     self._record_destroy(parent_pos)
                     vt.destroy_helper(parent_pos)
+                    if cascade_to is not None and cascade_to.is_real:
+                        # A real grandparent's slot loss is pure will
+                        # bookkeeping (no splicing), so absorb it now:
+                        # deferring would leave the dissolved slot's
+                        # stand-in — the freed simulator itself — in the
+                        # will, and the collision/donor checks below
+                        # would reject every live candidate (spurious
+                        # donor exhaustion in the b > 2 endgame).
+                        self._absorb_child_loss(
+                            cascade_to, lost_stand_in=cascade_standin
+                        )
+                        cascade_to = None
                 elif remaining == 1:
                     # bypass(z): short-circuit the parent's helper, freeing
                     # its simulator to inherit the leaf will.
                     if self._splice_helper(parent_pos) is not None:
                         freed = parent_pos.sim
-            if not role.children:
-                # The dissolved parent helper was the role's only child:
-                # the role itself just became childless — it vanishes
-                # instead of being inherited (there is nothing left to
-                # simulate), and its own slot loss cascades upward.
+            # Does anything real remain below the role?  The dissolved
+            # parent helper may have been the role's only child, or —
+            # b > 2 endgame — the dying leaf may have been the only real
+            # node under a whole chain of one-child helpers hanging off
+            # the role.  Either way the remaining subtree routes nothing:
+            # it vanishes instead of being inherited, and the role's own
+            # slot loss cascades upward (the deferred cascade target, if
+            # any, is inside the dissolved subtree and needs no visit).
+            doomed: List[VTHelper] = []
+            stack: List[VTNode] = [role]
+            while stack:
+                node = stack.pop()
+                if node.is_real:
+                    doomed.clear()
+                    break
+                assert isinstance(node, VTHelper)
+                doomed.append(node)  # parents precede their children
+                stack.extend(node.children)
+            if doomed:
                 sim = role.sim
                 grand = vt.detach(role)
-                self._record_destroy(role)
-                vt.destroy_helper(role)
+                for helper in reversed(doomed):  # children first
+                    if helper.parent is not None:
+                        vt.detach(helper)
+                    self._record_destroy(helper)
+                    vt.destroy_helper(helper)
                 vt.remove_real(real)
                 if grand is not None:
                     self._absorb_child_loss(grand, lost_stand_in=sim)

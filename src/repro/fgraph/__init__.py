@@ -1,0 +1,39 @@
+"""The Forgiving Graph subsystem (PODC 2009).
+
+The source paper's 2009 follow-up — *"The Forgiving Graph: a distributed
+data structure for low stretch under adversarial attack"* (Hayes, Saia,
+Trehan) — replaces the Forgiving Tree's fixed reconstruction trees with
+**weight-balanced binary trees over subtree weights**, guaranteeing both
+an additive degree increase of at most 3 *and* ``O(log n)`` stretch on
+general graphs under arbitrary insert/delete churn.
+
+* :class:`ReconstructionTree` — half-full binary trees keyed by subtree
+  weight: the Kraft-canonical build, the merge/split manifest algebra,
+  and the in-order-predecessor simulator assignment.
+* :class:`ForgivingGraph` — the sequential healing engine (merged-haft
+  rebuilds, insertion-forest weights, synthesized message tallies).
+* :class:`ForgivingGraphHealer` — the engine behind the shared
+  :class:`~repro.baselines.base.Healer` interface, registered in the
+  baselines catalog.
+* :class:`DistributedForgivingGraph` — the counted-message runtime; its
+  per-node tallies match the sequential engine's exactly (tests
+  cross-check node-for-node).
+
+See ``docs/FORGIVING_GRAPH.md`` for the algorithm walkthrough and the
+FT-vs-FG comparison.
+"""
+
+from .distributed import DistributedForgivingGraph
+from .engine import ForgivingGraph
+from .healer import ForgivingGraphHealer
+from .rtree import ReconstructionTree, fold_manifests, leaf_depth, target_depths
+
+__all__ = [
+    "DistributedForgivingGraph",
+    "ForgivingGraph",
+    "ForgivingGraphHealer",
+    "ReconstructionTree",
+    "fold_manifests",
+    "leaf_depth",
+    "target_depths",
+]

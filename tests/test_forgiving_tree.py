@@ -1,5 +1,7 @@
 """Behavioral tests of the sequential Forgiving Tree engine."""
 
+import random
+
 import pytest
 
 from tests.conftest import run_full_campaign
@@ -193,3 +195,35 @@ class TestHeirTransfer:
         transfers = [e for e in report.events if isinstance(e, HelperTransferred)]
         assert any(t.new_sim == 6 for t in transfers)
         assert ft.state_of(6).is_helper
+
+
+class TestGeneralizedEndgameRegressions:
+    """Full strict campaigns that historically crashed the b > 2 endgame.
+
+    Each instance is a Hypothesis falsifying example (or a soak find)
+    pinned verbatim: (1) spurious donor exhaustion from the stale
+    stand-in of a slot dissolved in the same round, (2) a doomed
+    all-virtual chain below a dying leaf's role that must dissolve
+    rather than be inherited, (3) the SubRT root snapshot going stale
+    when donor stealing replaces a one-child anchor mid-deployment
+    (re-attaching a destroyed helper).
+    """
+
+    @pytest.mark.parametrize(
+        "n,tree_seed,order_seed,branching",
+        [
+            (23, 175741, 5108, 3),  # stale-will donor exhaustion
+            (33, 270189, 1, 3),  # doomed virtual chain below the role
+            (22, 7087, 54, 3),  # stale SubRT root after anchor steal
+            (22, 7087, 54, 4),
+            (26, 16519, 126, 3),
+        ],
+    )
+    def test_full_campaign_completes(self, n, tree_seed, order_seed, branching):
+        tree = generators.random_tree(n, tree_seed)
+        ft = ForgivingTree(tree, strict=True, branching=branching)
+        order = sorted(tree)
+        random.Random(order_seed).shuffle(order)
+        for nid in order:
+            ft.delete(nid)
+        assert len(ft) == 0
