@@ -1,0 +1,263 @@
+"""EXP-ASYNC — the discrete-event transport under concurrent churn.
+
+Three experiments on the async simnet (``transport="async"`` campaigns:
+the distributed runtime heals *while further churn lands*, admission by
+heal-footprint disjointness, every quiesce barrier cross-validated
+against the sequential engine node-for-node):
+
+* **EXP-ASYNC-THROUGHPUT** — heal latency and in-flight depth vs event
+  concurrency: shrinking the virtual inter-arrival gap packs more heals
+  into flight at once; the table reports peak concurrent heals, peak
+  queued messages, heal-latency percentiles (virtual time) and the
+  conflict-barrier count at each gap.
+* **EXP-ASYNC-LATENCY** — the three link-latency models head to head,
+  for both healers: constant (lock-step-like), uniform jitter, and
+  heavy-tail (straggler-dominated), same churn stream.
+* **EXP-ASYNC-SCALE** — kernel scaling: wall time per event and
+  concurrency sustained as n grows to 10k.
+
+Results are dumped to ``benchmarks/out/BENCH_async.json`` for the CI
+artifact.  Quick mode: ``CHURN_BENCH_QUICK=1``.
+"""
+
+import json
+import os
+import time
+
+from repro.adversaries import ScatterChurnAdversary
+from repro.baselines import ForgivingTreeHealer
+from repro.fgraph.healer import ForgivingGraphHealer
+from repro.graphs import generators
+from repro.harness import report, run_churn_campaign
+from repro.simnet import TransportSpec
+
+from benchmarks.conftest import emit
+
+QUICK = os.environ.get("CHURN_BENCH_QUICK", "").strip().lower() not in (
+    "", "0", "false", "no",
+)
+
+THROUGHPUT_N = 300 if QUICK else 2000
+THROUGHPUT_EVENTS = 60 if QUICK else 250
+GAPS = (2.0, 0.5, 0.1, 0.02)
+LATENCY_N = 200 if QUICK else 1000
+LATENCY_EVENTS = 50 if QUICK else 200
+SCALE_SIZES = (100, 500) if QUICK else (100, 1000, 10_000)
+SCALE_EVENTS = (lambda n: 40) if QUICK else (lambda n: max(60, n // 40))
+OUT_PATH = os.path.join(os.path.dirname(__file__), "out", "BENCH_async.json")
+
+
+def _campaign(healer_cls, n, events, spec, tree_seed=11, adv_seed=3):
+    tree = generators.random_tree(n, seed=tree_seed)
+    healer = healer_cls({k: set(v) for k, v in tree.items()})
+    adversary = ScatterChurnAdversary(p_insert=0.25, seed=adv_seed)
+    t0 = time.perf_counter()
+    result = run_churn_campaign(
+        healer,
+        adversary,
+        events=events,
+        measure_diameter=False,
+        seed=adv_seed,
+        transport=spec,
+    )
+    elapsed = time.perf_counter() - t0
+    return result, elapsed
+
+
+def run_throughput_sweep():
+    """Concurrency knob: the virtual inter-arrival gap."""
+    rows = []
+    for gap in GAPS:
+        spec = TransportSpec(
+            mode="async", latency="uniform", gap=gap, barrier_every=16
+        )
+        result, elapsed = _campaign(
+            ForgivingTreeHealer, THROUGHPUT_N, THROUGHPUT_EVENTS, spec
+        )
+        t = result.transport
+        pct = t.heal_latency_percentiles
+        rows.append(
+            [
+                gap,
+                t.peak_in_flight_heals,
+                t.peak_queue_depth,
+                f"{pct['p50']:.2f}",
+                f"{pct['p99']:.2f}",
+                t.conflict_barriers,
+                f"{t.makespan:.0f}",
+                f"{1e3 * elapsed / t.events:.1f}",
+            ]
+        )
+    return rows
+
+
+def run_latency_models():
+    rows = []
+    for healer_cls, name in (
+        (ForgivingTreeHealer, "forgiving-tree"),
+        (ForgivingGraphHealer, "forgiving-graph"),
+    ):
+        for latency in ("constant", "uniform", "heavy-tail"):
+            spec = TransportSpec(
+                mode="async", latency=latency, gap=0.1, barrier_every=16
+            )
+            result, _elapsed = _campaign(
+                healer_cls, LATENCY_N, LATENCY_EVENTS, spec
+            )
+            t = result.transport
+            pct = t.heal_latency_percentiles
+            rows.append(
+                [
+                    name,
+                    latency,
+                    t.peak_in_flight_heals,
+                    f"{pct['p50']:.2f}",
+                    f"{pct['p90']:.2f}",
+                    f"{pct['p99']:.2f}",
+                    f"{pct['max']:.1f}",
+                ]
+            )
+    return rows
+
+
+def run_scale_sweep():
+    rows = []
+    for n in SCALE_SIZES:
+        events = SCALE_EVENTS(n)
+        spec = TransportSpec(
+            mode="async", latency="uniform", gap=0.05, barrier_every=16
+        )
+        result, elapsed = _campaign(ForgivingTreeHealer, n, events, spec)
+        t = result.transport
+        rows.append(
+            [
+                n,
+                t.events,
+                t.peak_in_flight_heals,
+                t.messages_delivered,
+                t.barriers,
+                f"{1e3 * elapsed / t.events:.1f}",
+            ]
+        )
+    return rows
+
+
+def _dump_json(throughput_rows, latency_rows, scale_rows):
+    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+    with open(OUT_PATH, "w") as fh:
+        json.dump(
+            {
+                "quick": QUICK,
+                "throughput": {
+                    "headers": ["gap", "peak_inflight", "peak_queue", "p50",
+                                "p99", "conflicts", "makespan", "ms_per_event"],
+                    "rows": throughput_rows,
+                },
+                "latency_models": {
+                    "headers": ["healer", "latency", "peak_inflight", "p50",
+                                "p90", "p99", "max"],
+                    "rows": latency_rows,
+                },
+                "scale": {
+                    "headers": ["n", "events", "peak_inflight", "delivered",
+                                "barriers", "ms_per_event"],
+                    "rows": scale_rows,
+                },
+            },
+            fh,
+            indent=2,
+            default=str,
+        )
+
+
+def _check(throughput_rows, latency_rows, scale_rows):
+    # Concurrency rises as the gap shrinks, and the smallest gap clears
+    # the acceptance bar of >= 4 concurrent in-flight heals.
+    assert throughput_rows[-1][1] >= throughput_rows[0][1]
+    assert throughput_rows[-1][1] >= 4
+    # Every latency-model campaign sustained concurrency and positive
+    # heal latencies (the barriers inside already proved convergence).
+    for row in latency_rows:
+        assert row[2] >= 2
+        assert float(row[3]) > 0
+    for row in scale_rows:
+        assert row[2] >= 4
+
+
+def test_async_benchmarks(benchmark, capsys):
+    throughput_rows = benchmark.pedantic(
+        run_throughput_sweep, rounds=1, iterations=1
+    )
+    latency_rows = run_latency_models()
+    scale_rows = run_scale_sweep()
+    _check(throughput_rows, latency_rows, scale_rows)
+    _dump_json(throughput_rows, latency_rows, scale_rows)
+
+    emit(
+        capsys,
+        report.banner(
+            f"EXP-ASYNC-THROUGHPUT  scatter churn on random-tree-{THROUGHPUT_N}, "
+            "uniform latency, concurrency vs inter-arrival gap"
+        ),
+    )
+    emit(
+        capsys,
+        report.format_table(
+            ["gap", "peak in-flight", "peak queue", "p50 lat", "p99 lat",
+             "conflicts", "makespan", "ms/event"],
+            throughput_rows,
+        ),
+    )
+    emit(
+        capsys,
+        report.banner(
+            f"EXP-ASYNC-LATENCY  link-latency models at n={LATENCY_N}"
+        ),
+    )
+    emit(
+        capsys,
+        report.format_table(
+            ["healer", "latency", "peak in-flight", "p50", "p90", "p99", "max"],
+            latency_rows,
+        ),
+    )
+    emit(capsys, report.banner("EXP-ASYNC-SCALE  kernel scaling"))
+    emit(
+        capsys,
+        report.format_table(
+            ["n", "events", "peak in-flight", "delivered", "barriers",
+             "ms/event"],
+            scale_rows,
+        ),
+    )
+
+
+if __name__ == "__main__":
+    # Standalone mode: PYTHONPATH=src python -m benchmarks.bench_async
+    _throughput = run_throughput_sweep()
+    _latency = run_latency_models()
+    _scale = run_scale_sweep()
+    _check(_throughput, _latency, _scale)
+    for banner, rows, headers in (
+        (
+            "EXP-ASYNC-THROUGHPUT  concurrency vs inter-arrival gap",
+            _throughput,
+            ["gap", "peak in-flight", "peak queue", "p50 lat", "p99 lat",
+             "conflicts", "makespan", "ms/event"],
+        ),
+        (
+            f"EXP-ASYNC-LATENCY  link-latency models at n={LATENCY_N}",
+            _latency,
+            ["healer", "latency", "peak in-flight", "p50", "p90", "p99", "max"],
+        ),
+        (
+            "EXP-ASYNC-SCALE  kernel scaling",
+            _scale,
+            ["n", "events", "peak in-flight", "delivered", "barriers",
+             "ms/event"],
+        ),
+    ):
+        print(report.banner(banner))
+        print(report.format_table(headers, rows))
+    _dump_json(_throughput, _latency, _scale)
+    print(f"\nwrote {OUT_PATH}")

@@ -25,6 +25,14 @@ theorem bounds only the diameter); the FG certifies every surviving
 pair inside a `2·log2(n) + 2` envelope, and the measured worst pair
 lands comfortably within it.
 
+Act four drops the lock-step fiction: the same trace replays on the
+**async transport** (`repro.simnet`) with heavy-tail link latencies —
+drop-outs land while earlier heals are still exchanging messages, a
+worst-case scheduler orders the deliveries, and every quiesce barrier
+cross-validates the distributed image against the sequential engine.
+The act reports the heal-latency percentiles: the p99/p50 gap is the
+straggler tax the synchronous model never shows.
+
 Run:  python examples/skype_outage.py
 """
 
@@ -131,6 +139,61 @@ def forgiving_graph_act() -> None:
     )
 
 
+def async_act() -> None:
+    """Act four: the outage trace on the async transport, heavy tails."""
+    from repro.harness import run_churn_campaign
+    from repro.simnet import TransportSpec
+
+    overlay, trace = synthetic_skype_outage()
+    print(
+        "\nact four — the same outage, asynchronously: heals overlap in"
+        "\nflight on the discrete-event simnet, links draw heavy-tail"
+        "\nlatencies, and a worst-case scheduler orders the deliveries."
+        "\nEvery quiesce barrier cross-validates the distributed image"
+        "\nagainst the sequential engine node-for-node (docs/ASYNC.md).\n"
+    )
+    rows = []
+    for make in (ForgivingTreeHealer, ForgivingGraphHealer):
+        healer = make({k: set(v) for k, v in overlay.items()})
+        res = run_churn_campaign(
+            healer,
+            TraceReplayAdversary(trace),
+            events=len(trace),
+            measure_diameter=False,
+            seed=7,
+            transport=TransportSpec(
+                mode="async",
+                latency="heavy-tail",
+                scheduler="adversarial",
+                gap=0.1,
+            ),
+        )
+        t = res.transport
+        pct = t.heal_latency_percentiles
+        rows.append(
+            [
+                healer.name,
+                t.peak_in_flight_heals,
+                t.conflict_barriers,
+                f"{pct['p50']:.2f}",
+                f"{pct['p90']:.2f}",
+                f"{pct['p99']:.2f}",
+                f"{pct['max']:.1f}",
+            ]
+        )
+    print(format_table(
+        ["strategy", "peak in-flight heals", "serialized conflicts",
+         "p50 heal", "p90 heal", "p99 heal", "worst heal"],
+        rows,
+    ))
+    print(
+        "\nthe storm's drop-outs heal concurrently — and the final image"
+        "\nstill matches the sequential engines exactly.  The p99/p50 gap"
+        "\nis the straggler tax: one slow link stalls a whole repair, a"
+        "\ncost the papers' synchronous rounds never surface."
+    )
+
+
 def main() -> None:
     hubs, leaves_per_hub = 8, 12
     overlay = generators.two_level_star(hubs, leaves_per_hub)
@@ -175,6 +238,7 @@ def main() -> None:
     )
     replay_outage_trace()
     forgiving_graph_act()
+    async_act()
 
 
 if __name__ == "__main__":

@@ -32,6 +32,13 @@ Public entry points
     degree increase <= 3 *and* O(log n) stretch on general graphs under
     churn, sequential + counted-message distributed runtimes (see
     docs/FORGIVING_GRAPH.md).
+:mod:`repro.simnet`
+    The async runtime: a discrete-event network kernel (per-link
+    latency models, scheduler adversaries, seeded determinism) both
+    distributed protocols run on unmodified, plus concurrent churn —
+    multiple heals in flight at once, checkpointed by quiesce barriers
+    and cross-validated against the sequential engines (see
+    docs/ASYNC.md).
 """
 
 from .core import (

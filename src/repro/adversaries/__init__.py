@@ -23,7 +23,9 @@ strategies realize the attacks the paper reasons about:
 Churn adversaries (mixed insert/delete streams, the Forgiving Graph
 model) live in :mod:`repro.adversaries.churn`:
 :class:`RandomChurnAdversary`, :class:`WaveChurnAdversary` (batch join
-waves), :class:`GrowthThenMassacreAdversary`,
+waves), :class:`ScatterChurnAdversary` (region-disjoint events, built
+for the async transport's concurrent heals),
+:class:`GrowthThenMassacreAdversary`,
 :class:`OscillatingChurnAdversary`, :class:`TraceReplayAdversary`, and
 the :class:`DeletionOnlyChurnAdversary` adapter.
 """
@@ -36,6 +38,7 @@ from .churn import (
     GrowthThenMassacreAdversary,
     OscillatingChurnAdversary,
     RandomChurnAdversary,
+    ScatterChurnAdversary,
     TraceReplayAdversary,
     WaveChurnAdversary,
 )
@@ -80,6 +83,7 @@ __all__ = [
     "RandomAdversary",
     "RandomChurnAdversary",
     "RootAdversary",
+    "ScatterChurnAdversary",
     "ScriptedAdversary",
     "SurrogateKillerAdversary",
     "TraceReplayAdversary",

@@ -189,6 +189,79 @@ class WaveChurnAdversary(ChurnAdversary):
         self._rng = random.Random(self.seed)
 
 
+class ScatterChurnAdversary(ChurnAdversary):
+    """Concurrency-seeking churn: consecutive events far apart.
+
+    Built for the async transport (``transport="async"`` campaigns):
+    each event avoids the ``radius``-hop neighborhoods of the last
+    ``spread`` victims/attachment points, so consecutive heals touch
+    disjoint regions and can stay *in flight simultaneously* instead of
+    being serialized behind conflict barriers.  With probability
+    ``p_insert`` the event is a join (attached to a scattered node),
+    otherwise a scattered deletion.  Falls back to uniform choice when
+    the hot zone swallows the whole alive set.
+    """
+
+    name = "scatter-churn"
+
+    def __init__(
+        self,
+        p_insert: float = 0.2,
+        spread: int = 8,
+        radius: int = 2,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= p_insert <= 1.0:
+            raise ValueError("p_insert must be within [0, 1]")
+        if spread < 0 or radius < 0:
+            raise ValueError("spread and radius must be >= 0")
+        self.p_insert = p_insert
+        self.spread = spread
+        self.radius = radius
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._recent: list = []
+
+    def _hot_zone(self, healer: Healer) -> set:
+        graph = healer.graph()
+        hot = set()
+        for center in self._recent:
+            if center not in graph:
+                continue
+            ball = {center}
+            frontier = [center]
+            for _ in range(self.radius):
+                frontier = [
+                    m for x in frontier for m in graph[x] if m not in ball
+                ]
+                ball.update(frontier)
+            hot |= ball
+        return hot
+
+    def _scattered_pick(self, healer: Healer, alive: list) -> int:
+        hot = self._hot_zone(healer)
+        cold = [x for x in alive if x not in hot]
+        choice = self._rng.choice(cold if cold else alive)
+        self._recent.append(choice)
+        if len(self._recent) > self.spread:
+            self._recent.pop(0)
+        return choice
+
+    def next_event(self, healer: Healer) -> ChurnEvent:
+        alive = sorted(healer.alive)
+        if not alive:
+            raise SimulationOverError("network is empty")
+        if len(alive) <= 1 or self._rng.random() < self.p_insert:
+            return Insert(self._fresh_id(healer), self._scattered_pick(healer, alive))
+        return Delete(self._scattered_pick(healer, alive))
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self.seed)
+        self._recent = []
+
+
 class GrowthThenMassacreAdversary(ChurnAdversary):
     """``growth`` joins first, then pure deletions chosen by ``killer``.
 
@@ -324,6 +397,7 @@ CHURN_ADVERSARY_CATALOG = {
     for cls in (
         RandomChurnAdversary,
         WaveChurnAdversary,
+        ScatterChurnAdversary,
         GrowthThenMassacreAdversary,
         OscillatingChurnAdversary,
         TraceReplayAdversary,

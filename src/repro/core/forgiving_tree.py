@@ -565,6 +565,45 @@ class ForgivingTree:
                     raise
                 return stolen
 
+        def rebind_parent() -> None:
+            nonlocal parent_pos, pinned
+            parent_pos = real.parent
+            pinned = tuple(
+                x
+                for x in (parent_pos, role, *anchors.values())
+                if x is not None and x.is_helper
+            )
+
+        def free_busy_sim(planned: int) -> bool:
+            """Endgame fallback: ``planned`` is stuck simulating a
+            redundant one-child helper — bypass that helper so the
+            planned simulator can take up its own duty.  Donor stealing
+            can never free ``planned`` itself (pending duties are
+            excluded from every donor search), so without this move the
+            rebuild-mode b > 2 endgame exhausts donors when the only
+            busy helper left is the one directly above the dying node
+            (its single child being the dying node itself)."""
+            busy = vt.role_of(planned)
+            if busy is None or len(busy.children) != 1:
+                return False
+            if busy is parent_pos:
+                if self._splice_helper(busy) is None:
+                    return False
+                rebind_parent()
+                return True
+            for s in sorted(anchors):
+                if anchors[s] is busy:
+                    sub = busy.children[0]
+                    vt.detach(sub)
+                    anchors[s] = sub
+                    self._record_destroy(busy)
+                    vt.destroy_helper(busy)
+                    self._tally.send(planned, 2)
+                    return True
+            if any(busy is p for p in pinned):
+                return False
+            return self._splice_helper(busy) is not None
+
         def resolve_sim(planned: int) -> int:
             if (
                 vt.role_of(planned) is None
@@ -576,6 +615,12 @@ class ForgivingTree:
                 raise InvariantViolationError(
                     "I4-plain-child-role", f"planned sim {planned} is busy"
                 )
+            if (
+                planned not in used_donors
+                and planned not in collision_set
+                and free_busy_sim(planned)
+            ):
+                return planned
             donor = find_duty_donor()
             used_donors.add(donor)
             self._tally.send(planned, 1)  # redirects its duty to the donor
@@ -618,6 +663,13 @@ class ForgivingTree:
                 vt.role_of(heir) is None
                 and heir not in used_donors
                 and heir not in role_exclusions
+            ):
+                inheritor = heir
+            elif (
+                self.branching > 2
+                and heir not in used_donors
+                and heir not in role_exclusions
+                and free_busy_sim(heir)
             ):
                 inheritor = heir
             else:

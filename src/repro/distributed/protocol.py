@@ -34,13 +34,20 @@ class DistributedForgivingTree:
     :class:`~repro.distributed.network.RoundStats` (Theorem 1.3 metrics).
     """
 
-    def __init__(self, tree, root: Optional[int] = None):
+    def __init__(
+        self, tree, root: Optional[int] = None, network: Optional[Network] = None
+    ):
         adjacency = _as_adjacency(tree)
         _check_is_tree(adjacency)
         self.root_id = min(adjacency) if root is None else root
         if self.root_id not in adjacency:
             raise NodeNotFoundError(self.root_id, "root")
-        self.network = Network()
+        # ``network`` plugs in an alternative transport (e.g. the
+        # discrete-event :class:`repro.simnet.AsyncNetwork`); the node
+        # protocol is transport-agnostic.  Must be empty.
+        if network is not None and len(network):
+            raise ProtocolError("provided network already has nodes")
+        self.network = Network() if network is None else network
         self.original_degree: Dict[int, int] = {
             n: len(neigh) for n, neigh in adjacency.items()
         }
@@ -97,19 +104,31 @@ class DistributedForgivingTree:
     def __contains__(self, nid: int) -> bool:
         return nid in self.network
 
-    def delete(self, nid: int) -> RoundStats:
-        """Adversary deletes ``nid``; neighbors detect and heal."""
+    def check_delete(self, nid: int) -> None:
+        """Validate a deletion without mutating anything."""
         if not self.network.nodes:
             raise SimulationOverError("all nodes already deleted")
         if nid not in self.network:
             raise NodeNotFoundError(nid, "delete")
+
+    def inject_delete(self, nid: int) -> None:
+        """Remove the victim and send the failure fan-out *without*
+        draining the network.  Async transports use this to overlap
+        several heals; :meth:`delete` is the inject-then-drain wrapper.
+        The caller must have opened an accounting window."""
+        self.check_delete(nid)
         self.rounds += 1
         victim = self.network.remove(nid)
-        self.network.begin_round(self.rounds)
         for neighbor in sorted(victim.neighbor_claims()):
             self.network.send(
                 Deleted(sender=nid, recipient=neighbor, victim=nid)
             )
+
+    def delete(self, nid: int) -> RoundStats:
+        """Adversary deletes ``nid``; neighbors detect and heal."""
+        self.check_delete(nid)
+        self.network.begin_round(self.rounds + 1)
+        self.inject_delete(nid)
         stats = self.network.run_round(self.rounds)
         self._check_quiescent()
         return stats
@@ -140,6 +159,27 @@ class DistributedForgivingTree:
         engine's synthesized ones exactly.
         """
         wave = normalize_wave(joiners, known_ids=self._ever, alive=self.network)
+        self.network.begin_round(self.rounds + 1)
+        self._inject_wave(wave)
+        stats = self.network.run_round(self.rounds)
+        self._check_quiescent()
+        return stats
+
+    def inject_insert_batch(self, joiners) -> None:
+        """Register a wave's joiners and send their requests *without*
+        draining (the async-transport half of :meth:`insert_batch`).
+        The caller must have opened an accounting window."""
+        self._inject_wave(
+            normalize_wave(joiners, known_ids=self._ever, alive=self.network)
+        )
+
+    def _inject_wave(self, wave) -> None:
+        """The already-validated wave's registration + request fan-out.
+
+        Validation stays in the callers, *before* any accounting window
+        opens — a rejected wave must leave no partial state, and on the
+        async transport an exception after ``begin_round`` would leave
+        the injection context dangling."""
         self.rounds += 1
         groups: Dict[int, List[int]] = {}
         for nid, attach_to in wave:
@@ -150,7 +190,6 @@ class DistributedForgivingTree:
             self._ever.add(nid)
             self.original_degree[nid] = 1
             self.original_degree[attach_to] += 1
-        self.network.begin_round(self.rounds)
         for attach_to, group in groups.items():
             for i, nid in enumerate(group):
                 self.network.send(
@@ -161,9 +200,6 @@ class DistributedForgivingTree:
                         final=i == len(group) - 1,
                     )
                 )
-        stats = self.network.run_round(self.rounds)
-        self._check_quiescent()
-        return stats
 
     def _check_quiescent(self) -> None:
         for nid, node in self.network.nodes.items():

@@ -307,14 +307,19 @@ class DistributedForgivingGraph:
     derived strictly from both endpoints' local claims.
     """
 
-    def __init__(self, graph: Graph):
+    def __init__(self, graph: Graph, network: Optional[Network] = None):
         if not graph:
             raise NodeNotFoundError(-1, "empty initial graph")
         # The weight cascade runs one hop per sub-round, so a round's
         # latency is the insertion-forest depth — deeper than the FT's
         # O(1) heals.  Keep a generous livelock guard instead of the
-        # default 64.
-        self.network = Network(max_sub_rounds=4096)
+        # default 64.  ``network`` plugs in an alternative transport
+        # (e.g. the discrete-event :class:`repro.simnet.AsyncNetwork`,
+        # whose ``max_depth`` should be similarly generous); it must be
+        # empty.
+        if network is not None and len(network):
+            raise ProtocolError("provided network already has nodes")
+        self.network = Network(max_sub_rounds=4096) if network is None else network
         self.original_degree: Dict[int, int] = {
             n: len(neigh) for n, neigh in graph.items()
         }
@@ -342,16 +347,21 @@ class DistributedForgivingGraph:
     def __contains__(self, nid: int) -> bool:
         return nid in self.network
 
-    def delete(self, nid: int) -> RoundStats:
-        """Adversary deletes ``nid``; image neighbors detect and heal."""
+    def check_delete(self, nid: int) -> None:
+        """Validate a deletion without mutating anything."""
         if not self.network.nodes:
             raise SimulationOverError("all nodes already deleted")
         if nid not in self.network:
             raise NodeNotFoundError(nid, "delete")
+
+    def inject_delete(self, nid: int) -> None:
+        """Remove the victim and send the failure fan-out *without*
+        draining the network (async transports overlap heals; the
+        caller must have opened an accounting window)."""
+        self.check_delete(nid)
         self.rounds += 1
         victim = self.network.remove(nid)
         claims = sorted(victim.neighbor_claims())
-        self.network.begin_round(self.rounds)
         if claims:
             coordinator = claims[0]
             for neighbor in claims:
@@ -364,6 +374,12 @@ class DistributedForgivingGraph:
                         n_reports=len(claims),
                     )
                 )
+
+    def delete(self, nid: int) -> RoundStats:
+        """Adversary deletes ``nid``; image neighbors detect and heal."""
+        self.check_delete(nid)
+        self.network.begin_round(self.rounds + 1)
+        self.inject_delete(nid)
         stats = self.network.run_round(self.rounds)
         self._check_quiescent()
         return stats
@@ -380,9 +396,33 @@ class DistributedForgivingGraph:
         are exactly the sum of the single-insert flows, matching the
         sequential engine's merged batch report.
         """
+        wave = self._check_wave(joiners)
+        self.network.begin_round(self.rounds + 1)
+        self._inject_wave(wave)
+        stats = self.network.run_round(self.rounds)
+        self._check_quiescent()
+        return stats
+
+    def inject_insert_batch(self, joiners: Sequence[Tuple[int, int]]) -> None:
+        """Register a wave's joiners and send their requests *without*
+        draining (the async-transport half of :meth:`insert_batch`).
+        The caller must have opened an accounting window."""
+        self._inject_wave(self._check_wave(joiners))
+
+    def _check_wave(self, joiners) -> List[Tuple[int, int]]:
+        """Validate a wave (shared rules + the cascade-depth guard)."""
         wave = normalize_wave(joiners, known_ids=self._ever, alive=self.network)
         for _nid, attach_to in wave:
             self._check_cascade_depth(attach_to)
+        return wave
+
+    def _inject_wave(self, wave: Sequence[Tuple[int, int]]) -> None:
+        """The already-validated wave's registration + request fan-out.
+
+        Validation stays in the callers, *before* any accounting window
+        opens — a rejected wave must leave no partial state, and on the
+        async transport an exception after ``begin_round`` would leave
+        the injection context dangling."""
         self.rounds += 1
         for nid, attach_to in wave:
             node = FGNode(nid)
@@ -392,12 +432,8 @@ class DistributedForgivingGraph:
             self._ever.add(nid)
             self.original_degree[nid] = 1
             self.original_degree[attach_to] += 1
-        self.network.begin_round(self.rounds)
         for nid, attach_to in wave:
             self.network.send(FGInsertRequest(sender=nid, recipient=attach_to))
-        stats = self.network.run_round(self.rounds)
-        self._check_quiescent()
-        return stats
 
     def _check_cascade_depth(self, attach_to: int) -> None:
         """Reject an insert whose weight cascade cannot quiesce.

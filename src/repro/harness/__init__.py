@@ -3,6 +3,7 @@
 from . import bounds, report
 from .experiment import (
     METRICS_MODES,
+    TRANSPORT_MODES,
     CampaignResult,
     RoundRecord,
     churn_duel,
@@ -13,6 +14,7 @@ from .experiment import (
 
 __all__ = [
     "METRICS_MODES",
+    "TRANSPORT_MODES",
     "CampaignResult",
     "RoundRecord",
     "bounds",

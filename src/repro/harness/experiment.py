@@ -19,9 +19,17 @@ from ..adversaries.churn import ChurnAdversary
 from ..baselines.base import Healer
 from ..churn.events import Delete, Insert, InsertWave
 from ..core.errors import NotATreeError, ReproError, SimulationOverError
+from ..core.events import HealReport
 from ..graphs.adjacency import Graph, is_connected, max_degree
 from ..graphs.incremental import DynamicTreeMetrics
 from ..graphs.metrics import diameter_double_sweep, diameter_exact
+from ..simnet.transport import (
+    TRANSPORT_MODES,
+    TransportInput,
+    TransportMirror,
+    TransportSummary,
+    resolve_transport,
+)
 
 
 @dataclass
@@ -141,6 +149,8 @@ class CampaignResult:
     initial_diameter: int
     initial_max_degree: int
     rounds: List[RoundRecord] = field(default_factory=list)
+    #: What the transport mirror observed (``transport=`` campaigns only).
+    transport: Optional[TransportSummary] = None
 
     @property
     def peak_degree_increase(self) -> int:
@@ -219,6 +229,47 @@ def _initial_diameter(meter: _DiameterMeter, initial: Graph) -> int:
     return diameter_double_sweep(initial, seed=meter.seed)
 
 
+def _record_round(
+    t: int,
+    report: HealReport,
+    healer: Healer,
+    meter: _DiameterMeter,
+    d0: int,
+) -> RoundRecord:
+    """The per-event measurement + bookkeeping shared by both runners."""
+    connected, diameter, alive = meter.measure(report, healer.graph)
+    return RoundRecord(
+        round=t + 1,
+        deleted=report.deleted,
+        alive=alive,
+        max_degree_increase=healer.max_degree_increase(),
+        diameter=diameter,
+        connected=connected,
+        edges_added=len(report.edges_added),
+        total_messages=report.total_messages,
+        max_messages_per_node=report.max_messages_per_node,
+        event="insert" if report.is_insertion else "delete",
+        inserted=report.inserted,
+        # A wave of one is indistinguishable from a single insert (the
+        # engines route singles through the batch path), so only true
+        # multi-joiner waves mark the record.
+        wave_size=(
+            len(report.inserted_batch) if len(report.inserted_batch) > 1 else 0
+        ),
+        stretch=(diameter / d0) if diameter is not None and d0 > 0 else None,
+    )
+
+
+def _make_mirror(
+    healer: Healer, transport: TransportInput, seed: int
+) -> Optional[TransportMirror]:
+    """Resolve the ``transport=`` knob into a live mirror (or None)."""
+    spec = resolve_transport(transport, seed=seed)
+    if spec is None:
+        return None
+    return TransportMirror(healer, spec)
+
+
 def run_campaign(
     healer: Healer,
     adversary: Adversary,
@@ -229,6 +280,7 @@ def run_campaign(
     on_round: Optional[Callable[[RoundRecord, Healer], None]] = None,
     metrics: Optional[str] = None,
     seed: int = 0,
+    transport: TransportInput = None,
 ) -> CampaignResult:
     """Play the Delete and Repair game.
 
@@ -253,6 +305,14 @@ def run_campaign(
     seed:
         Campaign seed threaded into the double sweep's start-node choice,
         making repeated runs reproducible end to end.
+    transport:
+        One of :data:`~repro.simnet.TRANSPORT_MODES` or a
+        :class:`~repro.simnet.TransportSpec`.  ``"sync"``/``"async"``
+        additionally mirror every event onto the matching *distributed*
+        runtime — over the synchronous network, or the discrete-event
+        async one with concurrent in-flight heals — cross-validating the
+        healed images at every quiesce barrier; the observations land in
+        :attr:`CampaignResult.transport`.  Default: off.
     """
     initial = healer.graph()
     n0 = len(initial)
@@ -267,6 +327,7 @@ def run_campaign(
         initial_diameter=d0,
         initial_max_degree=max_degree(initial),
     )
+    mirror = _make_mirror(healer, transport, seed)
     adversary.reset()
     budget = rounds if rounds is not None else n0 - 1
     for t in range(budget):
@@ -277,22 +338,14 @@ def run_campaign(
             report = healer.delete(victim)
         except SimulationOverError:
             break
-        connected, diameter, alive = meter.measure(report, healer.graph)
-        record = RoundRecord(
-            round=t + 1,
-            deleted=victim,
-            alive=alive,
-            max_degree_increase=healer.max_degree_increase(),
-            diameter=diameter,
-            connected=connected,
-            edges_added=len(report.edges_added),
-            total_messages=report.total_messages,
-            max_messages_per_node=report.max_messages_per_node,
-            stretch=(diameter / d0) if diameter is not None and d0 > 0 else None,
-        )
+        if mirror is not None:
+            mirror.apply(report)
+        record = _record_round(t, report, healer, meter, d0)
         result.rounds.append(record)
         if on_round is not None:
             on_round(record, healer)
+    if mirror is not None:
+        result.transport = mirror.finish()
     return result
 
 
@@ -304,6 +357,7 @@ def duel(
     exact_diameter: bool = False,
     metrics: Optional[str] = None,
     seed: int = 0,
+    transport: TransportInput = None,
 ) -> Dict[str, CampaignResult]:
     """Run the same attack against several healers on the same graph."""
     out: Dict[str, CampaignResult] = {}
@@ -316,6 +370,7 @@ def duel(
             exact_diameter=exact_diameter,
             metrics=metrics,
             seed=seed,
+            transport=transport,
         )
         out[result.healer_name] = result
     return out
@@ -330,6 +385,7 @@ def run_churn_campaign(
     on_round: Optional[Callable[[RoundRecord, Healer], None]] = None,
     metrics: Optional[str] = None,
     seed: int = 0,
+    transport: TransportInput = None,
 ) -> CampaignResult:
     """Play the churn game: a mixed insert/delete stream against one healer.
 
@@ -349,6 +405,11 @@ def run_churn_campaign(
     n = 10k+.  Campaigns over non-tree inputs (or that disconnect) fall
     back to the BFS double sweep.  ``seed`` threads the campaign seed
     into the fallback sweep for end-to-end reproducibility.
+
+    ``transport`` mirrors the campaign onto the matching distributed
+    runtime (``"sync"`` per-event, ``"async"`` with concurrent in-flight
+    heals over the discrete-event simnet), cross-validating the healed
+    image at every quiesce barrier — see :func:`run_campaign`.
     """
     initial = healer.graph()
     n0 = len(initial)
@@ -365,6 +426,7 @@ def run_churn_campaign(
         initial_diameter=d0,
         initial_max_degree=max_degree(initial),
     )
+    mirror = _make_mirror(healer, transport, seed)
     adversary.reset()
     for t in range(events):
         if not healer.alive:
@@ -380,30 +442,14 @@ def run_churn_campaign(
                 report = healer.delete(event.nid)
         except SimulationOverError:
             break
-        connected, diameter, alive = meter.measure(report, healer.graph)
-        record = RoundRecord(
-            round=t + 1,
-            deleted=report.deleted,
-            alive=alive,
-            max_degree_increase=healer.max_degree_increase(),
-            diameter=diameter,
-            connected=connected,
-            edges_added=len(report.edges_added),
-            total_messages=report.total_messages,
-            max_messages_per_node=report.max_messages_per_node,
-            event="insert" if report.is_insertion else "delete",
-            inserted=report.inserted,
-            # A wave of one is indistinguishable from a single insert
-            # (the engine routes singles through the batch path), so only
-            # true multi-joiner waves mark the record.
-            wave_size=(
-                len(report.inserted_batch) if len(report.inserted_batch) > 1 else 0
-            ),
-            stretch=(diameter / d0) if diameter is not None and d0 > 0 else None,
-        )
+        if mirror is not None:
+            mirror.apply(report)
+        record = _record_round(t, report, healer, meter, d0)
         result.rounds.append(record)
         if on_round is not None:
             on_round(record, healer)
+    if mirror is not None:
+        result.transport = mirror.finish()
     return result
 
 
@@ -415,6 +461,7 @@ def churn_duel(
     exact_diameter: bool = False,
     metrics: Optional[str] = None,
     seed: int = 0,
+    transport: TransportInput = None,
 ) -> Dict[str, CampaignResult]:
     """Run the same churn stream against several healers on the same graph."""
     out: Dict[str, CampaignResult] = {}
@@ -427,6 +474,7 @@ def churn_duel(
             exact_diameter=exact_diameter,
             metrics=metrics,
             seed=seed,
+            transport=transport,
         )
         out[result.healer_name] = result
     return out

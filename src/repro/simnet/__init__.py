@@ -1,0 +1,62 @@
+"""simnet — the discrete-event async network runtime.
+
+Replaces the synchronous network's per-event quiescence with a
+priority-queue scheduler, per-link latency models, scheduler
+adversaries, and *concurrent churn*: several heals in flight at once,
+checkpointed by quiesce barriers and cross-validated against the
+sequential engines.  See ``docs/ASYNC.md``.
+"""
+
+from .kernel import AsyncNetwork, Envelope, HealStats
+from .latency import (
+    LATENCY_CATALOG,
+    ConstantLatency,
+    HeavyTailLatency,
+    LatencyModel,
+    UniformLatency,
+    resolve_latency,
+)
+from .scheduler import (
+    SCHEDULER_CATALOG,
+    AdversarialScheduler,
+    FifoScheduler,
+    LatencyScheduler,
+    RandomScheduler,
+    SchedulerPolicy,
+    resolve_scheduler,
+)
+from .transport import (
+    TRANSPORT_MODES,
+    TransportDivergence,
+    TransportMirror,
+    TransportSpec,
+    TransportSummary,
+    heal_footprint,
+    resolve_transport,
+)
+
+__all__ = [
+    "LATENCY_CATALOG",
+    "SCHEDULER_CATALOG",
+    "TRANSPORT_MODES",
+    "AdversarialScheduler",
+    "AsyncNetwork",
+    "ConstantLatency",
+    "Envelope",
+    "FifoScheduler",
+    "HealStats",
+    "HeavyTailLatency",
+    "LatencyModel",
+    "LatencyScheduler",
+    "RandomScheduler",
+    "SchedulerPolicy",
+    "TransportDivergence",
+    "TransportMirror",
+    "TransportSpec",
+    "TransportSummary",
+    "UniformLatency",
+    "heal_footprint",
+    "resolve_latency",
+    "resolve_scheduler",
+    "resolve_transport",
+]

@@ -1,0 +1,330 @@
+"""The discrete-event simulation kernel: an async transport for the
+distributed protocols.
+
+:class:`AsyncNetwork` is a drop-in replacement for the synchronous
+:class:`~repro.distributed.network.Network`: it exposes the same
+membership, ``send``/``begin_round``/``run_round`` and ``image_edges``
+surface, so both distributed runtimes (the Forgiving Tree's and the
+Forgiving Graph's) run on it *unmodified*.  Underneath, messages are not
+delivered in lock-step sub-rounds but by a priority-queue scheduler with
+per-link latencies (:mod:`repro.simnet.latency`) and a pluggable
+delivery-order policy (:mod:`repro.simnet.scheduler`), and — the point
+of the exercise — several *heals may be in flight at once*: a new churn
+event can be injected while earlier repairs are still exchanging
+messages.
+
+Concurrency semantics (documented at length in ``docs/ASYNC.md``):
+
+* Every message belongs to the *heal* (churn event) whose handling
+  caused it, and carries its causal **depth** — hops from the event's
+  injected notifications (depth 0).  Injection happens between
+  :meth:`AsyncNetwork.open_heal` and :meth:`AsyncNetwork.close_injection`;
+  messages sent while a delivery is being handled inherit its heal and
+  ``depth + 1``.
+* **Within one heal, delivery is layered**: a depth-``d+1`` message is
+  only deliverable once every depth-``d`` message of the same heal has
+  landed.  This is exactly the sub-round causality of the papers'
+  synchronous model (Section 2: nodes communicate "asynchronously in
+  parallel" but the algorithms are stated in rounds); the protocol
+  handlers assume it, so the kernel preserves it *per heal*.
+* **Across heals there is no ordering at all** — deliveries from
+  different heals interleave freely, governed only by arrival times and
+  the scheduler policy.  This is the concurrency the synchronous network
+  forbids by quiescing after every event.
+* A message is *deliverable* once the layering rule admits it and the
+  clock can reach its arrival time.  Whenever several messages are
+  deliverable, the :class:`~repro.simnet.scheduler.SchedulerPolicy`
+  (including the adversarial one) picks which lands next — the legal
+  interleavings of the model.
+
+Determinism: given the construction seed, the whole run — clock values,
+delivery order, the per-message :attr:`event_log` — is a pure function
+of the injected events.  Tests pin this by comparing event logs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import ProtocolError
+from ..distributed.messages import Message
+from ..distributed.network import Network, RoundStats
+from .latency import LatencySpec, resolve_latency
+from .scheduler import SchedulerSpec, resolve_scheduler
+
+
+@dataclass(eq=False)
+class Envelope:
+    """One queued message: arrival time, send order, and causal tag."""
+
+    deliver_at: float
+    seq: int
+    message: Message
+    heal: int
+    depth: int
+
+
+@dataclass
+class HealStats(RoundStats):
+    """Per-heal communication stats plus the async timing quantities.
+
+    Extends the synchronous :class:`RoundStats` — ``sub_rounds`` is the
+    heal's causal depth (number of delivery layers), directly comparable
+    to the synchronous network's sub-round count — with virtual-time
+    bookkeeping: ``heal_latency`` is how long the repair stayed in
+    flight, the quantity EXP-ASYNC-THROUGHPUT measures.
+    """
+
+    injected_at: float = 0.0
+    quiesced_at: float = 0.0
+    label: str = ""
+
+    @property
+    def heal_latency(self) -> float:
+        return self.quiesced_at - self.injected_at
+
+
+class AsyncNetwork(Network):
+    """Discrete-event message transport (see module docstring).
+
+    Parameters
+    ----------
+    latency:
+        Per-link delay model (name, instance, or ``(name, kwargs)``).
+    scheduler:
+        Delivery-order policy among legally deliverable messages.
+    seed:
+        Master seed; the latency and scheduler RNG streams are derived
+        from it (disjointly), so one seed fixes the whole run.
+    max_depth:
+        Livelock guard: a heal deeper than this many causal layers
+        raises (the synchronous network's ``max_sub_rounds``).
+    record_samples:
+        Keep the full ``(clock, open_heals, queued)`` time series (the
+        benchmark's in-flight depth trace); peaks are always tracked.
+    record_log:
+        Keep the per-delivery event log (the determinism tests' pinned
+        artifact).  Off by default: long campaigns deliver hundreds of
+        thousands of messages and the log is pure overhead when nothing
+        reads it.
+    """
+
+    def __init__(
+        self,
+        latency: LatencySpec = "uniform",
+        scheduler: SchedulerSpec = "latency",
+        seed: int = 0,
+        max_depth: int = 4096,
+        record_samples: bool = False,
+        record_log: bool = False,
+    ):
+        super().__init__(max_sub_rounds=max_depth)
+        self.seed = seed
+        self.latency = resolve_latency(latency, seed=2 * seed + 1)
+        self.scheduler = resolve_scheduler(scheduler, seed=2 * seed + 2)
+        self.clock = 0.0
+        self.delivered = 0
+        self.event_log: List[Tuple[float, int, int, int, int, str]] = []
+        self.record_samples = record_samples
+        self.record_log = record_log
+        self.samples: List[Tuple[float, int, int]] = []
+        self.peak_open_heals = 0
+        self.peak_queue_depth = 0
+        self._seq = 0
+        self._next_hid = 0
+        self._buckets: Dict[int, Dict[int, List[Envelope]]] = {}
+        self._pending: Dict[int, int] = {}
+        self._depth_seen: Dict[int, int] = {}
+        self._heal_stats: Dict[int, HealStats] = {}
+        self._ctx: Optional[Tuple[int, int]] = None
+        self._compat_hid: Optional[int] = None
+
+    # -- heal lifecycle ----------------------------------------------------
+    def open_heal(self, label: str = "", round_no: Optional[int] = None) -> int:
+        """Open an injection window: subsequent sends are this heal's
+        depth-0 notifications.  Returns the heal id."""
+        if self._ctx is not None:
+            raise ProtocolError("open_heal while another context is active")
+        hid = self._next_hid
+        self._next_hid += 1
+        self._heal_stats[hid] = HealStats(
+            round=hid if round_no is None else round_no,
+            injected_at=self.clock,
+            label=label,
+        )
+        self._buckets[hid] = {}
+        self._pending[hid] = 0
+        self._depth_seen[hid] = -1
+        self._ctx = (hid, -1)
+        return hid
+
+    def close_injection(self) -> int:
+        """End the injection window (the heal then drains on its own)."""
+        if self._ctx is None or self._ctx[1] != -1:
+            raise ProtocolError("close_injection without an open injection")
+        hid = self._ctx[0]
+        self._ctx = None
+        if self._pending[hid] == 0:
+            self._finalize(hid)
+        return hid
+
+    def heal_pending(self, hid: int) -> int:
+        """Messages of heal ``hid`` still queued (0 = quiesced)."""
+        return self._pending.get(hid, 0)
+
+    def open_heals(self) -> List[int]:
+        """Heals currently in flight (injected, not yet quiesced)."""
+        return sorted(self._pending)
+
+    def heal_stats(self, hid: int) -> HealStats:
+        return self._heal_stats[hid]
+
+    def _finalize(self, hid: int) -> None:
+        stats = self._heal_stats[hid]
+        stats.quiesced_at = self.clock
+        stats.sub_rounds = self._depth_seen.pop(hid) + 1
+        del self._buckets[hid]
+        del self._pending[hid]
+        self.stats_history.append(stats)
+
+    # -- transport ---------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Queue a message; its heal/depth tag comes from the context."""
+        if self._ctx is None:
+            raise ProtocolError(
+                "send outside a heal context (open_heal/begin_round first)"
+            )
+        hid, parent_depth = self._ctx
+        depth = parent_depth + 1
+        if depth > self.max_sub_rounds:
+            raise ProtocolError(
+                f"heal {hid}: no quiescence after {self.max_sub_rounds} layers"
+            )
+        stats = self._heal_stats[hid]
+        stats.sent[message.sender] = stats.sent.get(message.sender, 0) + 1
+        stats.bits += message.id_count() * self._id_bits + 8
+        delay = self.latency.sample(message.sender, message.recipient)
+        env = Envelope(self.clock + delay, self._seq, message, hid, depth)
+        self._seq += 1
+        self._buckets[hid].setdefault(depth, []).append(env)
+        self._pending[hid] += 1
+        self._sample()
+
+    def _deliverable(self, horizon: float) -> List[Envelope]:
+        """Messages legal to deliver now: front layer per heal, arrived
+        within the horizon, and — within the layer — per-recipient FIFO.
+
+        The last rule mirrors the synchronous model, which hands each
+        node its sub-round messages as one send-ordered sequence; the
+        Forgiving Tree handlers rely on that per-inbox order (e.g. a
+        bypass brokerage intro and the matching hello must land in
+        order), so a reordering across it is not a *legal* interleaving.
+        Everything else — across recipients, across heals — is fair
+        game for the scheduler.
+        """
+        out: List[Envelope] = []
+        for depths in self._buckets.values():
+            if not depths:
+                continue
+            best: Dict[int, Envelope] = {}
+            for e in depths[min(depths)]:
+                cur = best.get(e.message.recipient)
+                if cur is None or e.seq < cur.seq:
+                    best[e.message.recipient] = e
+            # FIFO blocking: a recipient's later messages wait for its
+            # first, even if a latency draw made them arrive earlier.
+            out.extend(e for e in best.values() if e.deliver_at <= horizon)
+        return out
+
+    def _deliver(self, env: Envelope) -> None:
+        depths = self._buckets[env.heal]
+        front = depths[env.depth]
+        front.remove(env)
+        if not front:
+            del depths[env.depth]
+        self._pending[env.heal] -= 1
+        self.clock = max(self.clock, env.deliver_at)
+        self._depth_seen[env.heal] = max(self._depth_seen[env.heal], env.depth)
+        msg = env.message
+        if self.record_log:
+            self.event_log.append(
+                (
+                    round(self.clock, 9),
+                    env.heal,
+                    env.depth,
+                    msg.sender,
+                    msg.recipient,
+                    type(msg).__name__,
+                )
+            )
+        node = self.nodes.get(msg.recipient)
+        if node is not None:  # else: recipient died; message dropped
+            stats = self._heal_stats[env.heal]
+            stats.received[msg.recipient] = (
+                stats.received.get(msg.recipient, 0) + 1
+            )
+            prev = self._ctx
+            self._ctx = (env.heal, env.depth)
+            try:
+                node.handle(msg)
+            finally:
+                self._ctx = prev
+        self.delivered += 1
+        if self._pending[env.heal] == 0:
+            self._finalize(env.heal)
+        self._sample()
+
+    def run_until(self, horizon: float) -> None:
+        """Deliver every message that can legally land by ``horizon``
+        (new sends included, as long as they arrive in time)."""
+        while True:
+            deliverable = self._deliverable(horizon)
+            if not deliverable:
+                break
+            self._deliver(self.scheduler.pick(deliverable))
+        if horizon != math.inf:
+            self.clock = max(self.clock, horizon)
+
+    def quiesce(self) -> None:
+        """Drain the queue completely (the epoch barrier primitive)."""
+        self.run_until(math.inf)
+
+    # -- instrumentation ---------------------------------------------------
+    def _sample(self) -> None:
+        open_heals = sum(1 for c in self._pending.values() if c > 0)
+        queued = sum(self._pending.values())
+        if open_heals > self.peak_open_heals:
+            self.peak_open_heals = open_heals
+        if queued > self.peak_queue_depth:
+            self.peak_queue_depth = queued
+        if self.record_samples:
+            self.samples.append((self.clock, open_heals, queued))
+
+    def in_flight(self) -> Tuple[int, int]:
+        """Current ``(open heals, queued messages)``."""
+        return (
+            sum(1 for c in self._pending.values() if c > 0),
+            sum(self._pending.values()),
+        )
+
+    # -- synchronous-Network compatibility ---------------------------------
+    # The drivers' own delete()/insert()/setup paths call
+    # begin_round/run_round; on this transport each such round is one heal
+    # injected and immediately drained (per-event quiescence, but with
+    # latency-ordered delivery).  Concurrent operation goes through
+    # open_heal/close_injection + run_until/quiesce instead.
+    def begin_round(self, round_no: int) -> None:
+        self._compat_hid = self.open_heal(
+            label=f"round-{round_no}", round_no=round_no
+        )
+
+    def run_round(self, round_no: int) -> RoundStats:
+        if self._ctx is not None:
+            self.close_injection()
+        self.quiesce()
+        assert self._compat_hid is not None
+        stats = self._heal_stats[self._compat_hid]
+        self._compat_hid = None
+        return stats

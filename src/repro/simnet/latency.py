@@ -1,0 +1,144 @@
+"""Per-link latency models for the discrete-event simnet.
+
+A latency model answers one question: how long does this message take to
+cross its link?  Draws are made from the model's own seeded RNG in send
+order, so a whole simulation is a deterministic function of its seeds —
+the property the event-log determinism tests pin.
+
+Three families, mirroring the usual network-simulation repertoire:
+
+* :class:`ConstantLatency` — every link takes exactly ``value`` time
+  units.  The async runtime then degenerates to latency-ordered rounds;
+  useful as the bridge case when validating against the synchronous
+  network.
+* :class:`UniformLatency` — i.i.d. uniform draws in ``[low, high]``; the
+  default model.  Jitter without pathology.
+* :class:`HeavyTailLatency` — Pareto-tailed draws (``scale`` minimum,
+  shape ``alpha``), optionally truncated at ``cap``.  Models the long
+  tail of real overlays (a few links orders of magnitude slower), the
+  regime where heal latency is dominated by stragglers.
+
+``resolve_latency`` turns a spec (model instance, name, or
+``(name, kwargs)``) into a fresh instance; :data:`LATENCY_CATALOG` names
+the built-ins for benchmarks to sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple, Type, Union
+
+
+class LatencyModel:
+    """Base class: seeded per-message delay sampler."""
+
+    name: str = "abstract"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Re-arm the RNG (models are reseeded per campaign)."""
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def sample(self, sender: int, recipient: int) -> float:
+        """Delay for one message on the ``sender -> recipient`` link."""
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``value`` time units."""
+
+    name = "constant"
+
+    def __init__(self, value: float = 1.0, seed: int = 0) -> None:
+        super().__init__(seed)
+        if value <= 0:
+            raise ValueError("latency must be positive")
+        self.value = float(value)
+
+    def sample(self, sender: int, recipient: int) -> float:
+        return self.value
+
+
+class UniformLatency(LatencyModel):
+    """I.i.d. uniform delays in ``[low, high]`` (the default model)."""
+
+    name = "uniform"
+
+    def __init__(
+        self, low: float = 0.5, high: float = 1.5, seed: int = 0
+    ) -> None:
+        super().__init__(seed)
+        if not 0 < low <= high:
+            raise ValueError("need 0 < low <= high")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, sender: int, recipient: int) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+
+class HeavyTailLatency(LatencyModel):
+    """Pareto-tailed delays: minimum ``scale``, tail index ``alpha``.
+
+    Mean is ``scale * alpha / (alpha - 1)`` for ``alpha > 1`` (the
+    default ``alpha=1.5`` has mean ``3 * scale`` but infinite variance).
+    ``cap`` truncates the tail so a single draw cannot stall a whole
+    campaign; ``None`` leaves it unbounded.
+    """
+
+    name = "heavy-tail"
+
+    def __init__(
+        self,
+        scale: float = 0.5,
+        alpha: float = 1.5,
+        cap: Optional[float] = 50.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        if scale <= 0 or alpha <= 0:
+            raise ValueError("scale and alpha must be positive")
+        if cap is not None and cap < scale:
+            raise ValueError("cap must be >= scale")
+        self.scale = float(scale)
+        self.alpha = float(alpha)
+        self.cap = None if cap is None else float(cap)
+
+    def sample(self, sender: int, recipient: int) -> float:
+        # Inverse-CDF Pareto draw; paretovariate returns >= 1.
+        value = self.scale * self._rng.paretovariate(self.alpha)
+        if self.cap is not None and value > self.cap:
+            return self.cap
+        return value
+
+
+LATENCY_CATALOG: Dict[str, Type[LatencyModel]] = {
+    cls.name: cls
+    for cls in (ConstantLatency, UniformLatency, HeavyTailLatency)
+}
+
+LatencySpec = Union[str, LatencyModel, Tuple[str, dict]]
+
+
+def resolve_latency(spec: LatencySpec, seed: int = 0) -> LatencyModel:
+    """Build a latency model from a spec.
+
+    Accepts an instance (reseeded in place), a catalog name, or a
+    ``(name, kwargs)`` pair.  The seed always comes from the caller so a
+    campaign's one seed governs every stochastic component.
+    """
+    if isinstance(spec, LatencyModel):
+        spec.reseed(seed)
+        return spec
+    if isinstance(spec, tuple):
+        name, kwargs = spec
+        return LATENCY_CATALOG[name](seed=seed, **dict(kwargs))
+    if spec in LATENCY_CATALOG:
+        return LATENCY_CATALOG[spec](seed=seed)
+    raise ValueError(
+        f"unknown latency model {spec!r} (one of {sorted(LATENCY_CATALOG)})"
+    )

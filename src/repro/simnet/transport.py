@@ -1,0 +1,405 @@
+"""Concurrent-churn transport mirrors for campaign runners.
+
+The harness plays every campaign against a *sequential* healer (the
+oracle).  A :class:`TransportMirror` additionally drives the matching
+**distributed runtime** — the Forgiving Tree protocol for
+``forgiving-tree`` healers, the Forgiving Graph protocol for
+``forgiving-graph`` ones — over a transport selected by a
+:class:`TransportSpec`:
+
+* ``mode="sync"`` — the classic synchronous sub-round network, one
+  event at a time, quiescing per event (per-event cross-validation of
+  the protocols inside any campaign).
+* ``mode="async"`` — the discrete-event :class:`~repro.simnet.AsyncNetwork`
+  with **concurrent churn**: each oracle event is injected while earlier
+  heals are still in flight, overlapping repairs in virtual time.
+
+Concurrent admission is governed by the *heal footprint*: the set of
+nodes a repair reads or writes, extracted from the oracle's
+:class:`~repro.core.events.HealReport` (every participant either sends
+a message, is an endpoint of a changed image edge, or is named by a heal
+event — the node-for-node tally parity between the sequential engines
+and the distributed runtimes is what makes the report a sound oracle).
+Two heals with disjoint footprints exchange no messages with any common
+node, so their deliveries commute and any legal interleaving converges
+to the sequential composition; when a new event's footprint touches an
+in-flight heal, the mirror inserts a **quiesce barrier** first (the
+event is serialized behind the conflicting repair — the same rule the
+papers' adversary model implies, which never fires a node while its
+region is still healing).
+
+At every barrier — conflict-forced, cadence (``barrier_every``), or
+final — the mirror drains the network, asserts protocol quiescence, and
+cross-validates the distributed image against the oracle's healed graph
+node-for-node, raising :class:`TransportDivergence` on any mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.errors import ReproError
+from ..core.events import EdgeAdded, EdgeRemoved, HealReport
+from ..graphs.spanning import bfs_tree
+from .kernel import AsyncNetwork
+from .latency import LatencySpec
+from .scheduler import SchedulerSpec
+
+#: ``transport=`` modes for the campaign runners (mirrors ``metrics=``).
+TRANSPORT_MODES = ("none", "sync", "async")
+
+
+class TransportDivergence(ReproError, AssertionError):
+    """The distributed mirror's healed image diverged from the oracle."""
+
+
+@dataclass
+class TransportSpec:
+    """Configuration of a campaign's transport mirror.
+
+    ``seed=None`` inherits the campaign seed, so one seed reproduces the
+    whole run — adversary, metrics, latency draws and scheduler choices.
+    ``gap`` is the virtual inter-arrival time between injected events
+    (smaller gap = more heals in flight); ``barrier_every`` is the
+    quiesce/cross-validate cadence in events (0 = only conflict-forced
+    and final barriers).
+    """
+
+    mode: str = "async"
+    latency: LatencySpec = "uniform"
+    scheduler: SchedulerSpec = "latency"
+    seed: Optional[int] = None
+    gap: float = 0.25
+    barrier_every: int = 8
+    max_depth: int = 4096
+    record_samples: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("sync", "async"):
+            raise ValueError(f"unknown transport mode {self.mode!r}")
+        if self.gap < 0:
+            raise ValueError("gap must be >= 0")
+        if self.barrier_every < 0:
+            raise ValueError("barrier_every must be >= 0")
+
+
+TransportInput = Union[None, str, TransportSpec]
+
+
+def resolve_transport(
+    transport: TransportInput, seed: int = 0
+) -> Optional[TransportSpec]:
+    """Normalize the ``transport=`` knob into a spec (or None = off)."""
+    if transport is None or transport == "none":
+        return None
+    if isinstance(transport, TransportSpec):
+        return (
+            transport if transport.seed is not None else replace(transport, seed=seed)
+        )
+    if transport in ("sync", "async"):
+        return TransportSpec(mode=transport, seed=seed)
+    raise ValueError(
+        f"unknown transport {transport!r} (one of {TRANSPORT_MODES} or a TransportSpec)"
+    )
+
+
+def heal_footprint(report: HealReport, graph=None) -> Set[int]:
+    """Every node the heal read or wrote, from the oracle's report.
+
+    Union of: the victim / the joiners and their attachment points, every
+    node that sent a message (tally keys), every endpoint of a touched
+    image edge (including mid-heal transient edges, via the raw event
+    log), every node named by a heal event (portion and leaf-will
+    recipients, helper simulators and transfer targets) — and, when the
+    post-event image ``graph`` is given, the image neighbors of every
+    sender.  That last closure covers *receive-only* participants (the
+    weight cascade's terminal hop, a ``ReplaceChild`` holder whose will
+    changes without retransmissions): every protocol message travels
+    along an image edge, so each receiver is adjacent to its sender in
+    the pre-, mid- (transient, evented) or post-heal image, and the
+    first two are already covered by the event endpoints.
+    """
+    fp: Set[int] = set()
+    if report.deleted >= 0:
+        fp.add(report.deleted)
+    if report.inserted is not None:
+        fp.add(report.inserted)
+    if report.attached_to is not None:
+        fp.add(report.attached_to)
+    for nid, attach_to in report.inserted_batch:
+        fp.add(nid)
+        fp.add(attach_to)
+    fp.update(report.messages_per_node)
+    for u, v in report.edges_added:
+        fp.add(u)
+        fp.add(v)
+    for u, v in report.edges_removed:
+        fp.add(u)
+        fp.add(v)
+    for event in report.events:
+        for attr in (
+            "u",
+            "v",
+            "nid",
+            "attached_to",
+            "sim",
+            "owner",
+            "recipient",
+            "old_sim",
+            "new_sim",
+        ):
+            value = getattr(event, attr, None)
+            if isinstance(value, int):
+                fp.add(value)
+    if graph is not None:
+        for sender in list(report.messages_per_node):
+            fp.update(graph.get(sender, ()))
+    return fp
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (empty -> 0)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass
+class TransportSummary:
+    """What a campaign's transport mirror observed (per campaign)."""
+
+    mode: str
+    latency: str
+    scheduler: str
+    seed: int
+    events: int = 0
+    barriers: int = 0
+    conflict_barriers: int = 0
+    peak_in_flight_heals: int = 0
+    peak_queue_depth: int = 0
+    makespan: float = 0.0
+    messages_delivered: int = 0
+    heal_latencies: List[float] = field(default_factory=list)
+    peak_sub_rounds: int = 0
+
+    @property
+    def heal_latency_percentiles(self) -> Dict[str, float]:
+        values = sorted(self.heal_latencies)
+        return {
+            "p50": _percentile(values, 0.50),
+            "p90": _percentile(values, 0.90),
+            "p99": _percentile(values, 0.99),
+            "max": values[-1] if values else 0.0,
+            "mean": (sum(values) / len(values)) if values else 0.0,
+        }
+
+
+class TransportMirror:
+    """Replays a campaign's event stream on a distributed runtime.
+
+    Built from the campaign's healer (see module docstring);
+    :meth:`apply` consumes each oracle :class:`HealReport` right after
+    the sequential healer produced it, :meth:`finish` drains, validates
+    and returns the :class:`TransportSummary`.
+    """
+
+    def __init__(self, healer, spec: TransportSpec):
+        self.spec = spec
+        self.seed = spec.seed if spec.seed is not None else 0
+        self.net: Optional[AsyncNetwork] = None
+        if spec.mode == "async":
+            self.net = AsyncNetwork(
+                latency=spec.latency,
+                scheduler=spec.scheduler,
+                seed=self.seed,
+                max_depth=spec.max_depth,
+                record_samples=spec.record_samples,
+            )
+        self.driver, self._oracle_edges = self._build_driver(healer)
+        if self.net is not None:
+            # The setup round (FT will distribution) floods the queue
+            # once before any churn; reset the peaks so the summary
+            # reports campaign concurrency, not setup fan-out.
+            self.net.peak_open_heals = 0
+            self.net.peak_queue_depth = 0
+            self.net.samples.clear()
+        # The expected image is maintained from the mirrored reports'
+        # exact edge deltas: a conflict barrier fires *before* the
+        # triggering event is injected, at which point the live oracle is
+        # one event ahead of the mirror.  (``finish`` still closes the
+        # loop against the live oracle.)
+        self._expected: Set[Tuple[int, int]] = self._oracle_edges()
+        self._inflight: Dict[int, Set[int]] = {}
+        self.events = 0
+        self.barriers = 0
+        self.conflict_barriers = 0
+        self._since_barrier = 0
+
+    # ------------------------------------------------------------------
+    def _build_driver(self, healer):
+        """Instantiate the distributed runtime matching the healer."""
+        from ..baselines.forgiving import ForgivingTreeHealer
+        from ..core.forgiving_tree import WILL_SPLICE
+        from ..fgraph.healer import ForgivingGraphHealer
+
+        if isinstance(healer, ForgivingTreeHealer):
+            engine = healer.engine
+            if engine.branching != 2 or engine.will_mode != WILL_SPLICE:
+                raise ValueError(
+                    "transport mirroring needs the binary splice-mode "
+                    "Forgiving Tree (the distributed FT protocol is binary)"
+                )
+            from ..distributed.protocol import DistributedForgivingTree
+
+            tree = bfs_tree(healer.initial_graph, engine.root_id)
+            driver = DistributedForgivingTree(
+                tree, root=engine.root_id, network=self.net
+            )
+            # The FT healer carries surviving non-tree edges alongside the
+            # protocol's tree overlay; the mirror validates the overlay.
+            self._oracle_graph = healer.tree_overlay
+            return driver, lambda: _edge_set(healer.tree_overlay())
+        if isinstance(healer, ForgivingGraphHealer):
+            from ..fgraph.distributed import DistributedForgivingGraph
+
+            driver = DistributedForgivingGraph(
+                healer.initial_graph, network=self.net
+            )
+            self._oracle_graph = healer.graph
+            return driver, lambda: _edge_set(healer.graph())
+        raise ValueError(
+            f"transport mirroring supports the forgiving-tree and "
+            f"forgiving-graph healers, not {healer.name!r}"
+        )
+
+    # ------------------------------------------------------------------
+    def apply(self, report: HealReport) -> None:
+        """Mirror one oracle event onto the distributed runtime."""
+        if self.spec.mode == "sync":
+            self._apply_now(report)
+        else:
+            self._apply_async(report)
+        self.events += 1
+        # Replay the raw chronological edge transitions, not the
+        # report's summary sets: those are disjointified, so an edge
+        # that toggles an odd number of times inside one heal (removed,
+        # re-added, removed again) vanishes from both and the summary
+        # under-reports the net change.  (FT reports may also remove
+        # non-tree extras the mirror never carried: discard semantics.)
+        for event in report.events:
+            if isinstance(event, EdgeAdded):
+                self._expected.add(event.key())
+            elif isinstance(event, EdgeRemoved):
+                self._expected.discard(event.key())
+        self._since_barrier += 1
+        if self.spec.barrier_every and self._since_barrier >= self.spec.barrier_every:
+            self.barrier()
+
+    def _apply_now(self, report: HealReport) -> None:
+        if report.is_insertion:
+            self.driver.insert_batch(self._wave(report))
+        else:
+            self.driver.delete(report.deleted)
+
+    def _apply_async(self, report: HealReport) -> None:
+        assert self.net is not None
+        footprint = heal_footprint(report, graph=self._oracle_graph())
+        self._prune_inflight()
+        if any(footprint & other for other in self._inflight.values()):
+            # The event touches a region still healing: serialize it
+            # behind the conflicting repair (quiesce barrier).
+            self.conflict_barriers += 1
+            self.barrier()
+        else:
+            # The event arrives mid-flight: advance virtual time by the
+            # inter-arrival gap, delivering whatever legally lands.
+            self.net.run_until(self.net.clock + self.spec.gap)
+            self._prune_inflight()
+        hid = self.net.open_heal(
+            label="insert" if report.is_insertion else f"delete-{report.deleted}"
+        )
+        if report.is_insertion:
+            self.driver.inject_insert_batch(self._wave(report))
+        else:
+            self.driver.inject_delete(report.deleted)
+        self.net.close_injection()
+        if self.net.heal_pending(hid):
+            self._inflight[hid] = footprint
+
+    @staticmethod
+    def _wave(report: HealReport) -> Sequence[Tuple[int, int]]:
+        if report.inserted_batch:
+            return report.inserted_batch
+        assert report.inserted is not None and report.attached_to is not None
+        return ((report.inserted, report.attached_to),)
+
+    def _prune_inflight(self) -> None:
+        assert self.net is not None
+        self._inflight = {
+            hid: fp
+            for hid, fp in self._inflight.items()
+            if self.net.heal_pending(hid) > 0
+        }
+
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Quiesce, assert protocol quiescence, cross-validate images."""
+        if self.net is not None:
+            self.net.quiesce()
+            self._inflight.clear()
+        self.driver._check_quiescent()
+        self.verify()
+        self.barriers += 1
+        self._since_barrier = 0
+
+    def verify(self, expected: Optional[Set[Tuple[int, int]]] = None) -> None:
+        """Node-for-node healed-image comparison against the oracle."""
+        mirror_edges = self.driver.edges()
+        if expected is None:
+            expected = self._expected
+        if mirror_edges != expected:
+            missing = sorted(expected - mirror_edges)[:6]
+            extra = sorted(mirror_edges - expected)[:6]
+            raise TransportDivergence(
+                f"after {self.events} events: mirror image diverged "
+                f"(missing {missing}, extra {extra})"
+            )
+
+    def finish(self) -> TransportSummary:
+        """Final barrier + summary (call once, at campaign end)."""
+        self.barrier()
+        # The mirror is now caught up with the oracle: close the loop
+        # against the live healer, not just the accumulated deltas.
+        self.verify(expected=self._oracle_edges())
+        spec = self.spec
+        summary = TransportSummary(
+            mode=spec.mode,
+            latency=getattr(spec.latency, "name", str(spec.latency)),
+            scheduler=getattr(spec.scheduler, "name", str(spec.scheduler)),
+            seed=self.seed,
+            events=self.events,
+            barriers=self.barriers,
+            conflict_barriers=self.conflict_barriers,
+        )
+        history = self.driver.network.stats_history[1:]  # skip setup
+        summary.peak_sub_rounds = max((s.sub_rounds for s in history), default=0)
+        if self.net is not None:
+            summary.peak_in_flight_heals = self.net.peak_open_heals
+            summary.peak_queue_depth = self.net.peak_queue_depth
+            summary.makespan = self.net.clock
+            summary.messages_delivered = self.net.delivered
+            summary.heal_latencies = [
+                s.heal_latency for s in history if hasattr(s, "heal_latency")
+            ]
+        return summary
+
+
+def _edge_set(graph) -> Set[Tuple[int, int]]:
+    out: Set[Tuple[int, int]] = set()
+    for u, vs in graph.items():
+        for v in vs:
+            if u < v:
+                out.add((u, v))
+    return out

@@ -210,18 +210,26 @@ class TestGeneralizedEndgameRegressions:
     """
 
     @pytest.mark.parametrize(
-        "n,tree_seed,order_seed,branching",
+        "n,tree_seed,order_seed,branching,will_mode",
         [
-            (23, 175741, 5108, 3),  # stale-will donor exhaustion
-            (33, 270189, 1, 3),  # doomed virtual chain below the role
-            (22, 7087, 54, 3),  # stale SubRT root after anchor steal
-            (22, 7087, 54, 4),
-            (26, 16519, 126, 3),
+            (23, 175741, 5108, 3, "splice"),  # stale-will donor exhaustion
+            (33, 270189, 1, 3, "splice"),  # doomed virtual chain below the role
+            (22, 7087, 54, 3, "splice"),  # stale SubRT root after anchor steal
+            (22, 7087, 54, 4, "splice"),
+            (26, 16519, 126, 3, "splice"),
+            # Rebuild-mode donor exhaustion: the planned stand-in was stuck
+            # simulating the redundant one-child helper directly above the
+            # dying node; only bypassing that helper can free it.
+            (29, 901259, 807541, 3, "rebuild"),
         ],
     )
-    def test_full_campaign_completes(self, n, tree_seed, order_seed, branching):
+    def test_full_campaign_completes(
+        self, n, tree_seed, order_seed, branching, will_mode
+    ):
         tree = generators.random_tree(n, tree_seed)
-        ft = ForgivingTree(tree, strict=True, branching=branching)
+        ft = ForgivingTree(
+            tree, strict=True, branching=branching, will_mode=will_mode
+        )
         order = sorted(tree)
         random.Random(order_seed).shuffle(order)
         for nid in order:
