@@ -25,6 +25,8 @@ model) live in :mod:`repro.adversaries.churn`:
 :class:`RandomChurnAdversary`, :class:`WaveChurnAdversary` (batch join
 waves), :class:`ScatterChurnAdversary` (region-disjoint events, built
 for the async transport's concurrent heals),
+:class:`OverlapChurnAdversary` (events aimed *inside* in-flight heal
+regions — the region-lease handoff stressor),
 :class:`GrowthThenMassacreAdversary`,
 :class:`OscillatingChurnAdversary`, :class:`TraceReplayAdversary`, and
 the :class:`DeletionOnlyChurnAdversary` adapter.
@@ -37,10 +39,12 @@ from .churn import (
     DeletionOnlyChurnAdversary,
     GrowthThenMassacreAdversary,
     OscillatingChurnAdversary,
+    OverlapChurnAdversary,
     RandomChurnAdversary,
     ScatterChurnAdversary,
     TraceReplayAdversary,
     WaveChurnAdversary,
+    region_ball,
 )
 from .simple import (
     CenterAdversary,
@@ -80,6 +84,7 @@ __all__ = [
     "MaxDegreeAdversary",
     "MinDegreeAdversary",
     "OscillatingChurnAdversary",
+    "OverlapChurnAdversary",
     "RandomAdversary",
     "RandomChurnAdversary",
     "RootAdversary",
@@ -88,4 +93,5 @@ __all__ = [
     "SurrogateKillerAdversary",
     "TraceReplayAdversary",
     "WaveChurnAdversary",
+    "region_ball",
 ]

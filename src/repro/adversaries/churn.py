@@ -17,6 +17,13 @@ round after seeing the current healed network:
 * :class:`TraceReplayAdversary` — replays a recorded
   :class:`~repro.churn.ChurnTrace` exactly and fails loudly on an
   inconsistent trace.
+* :class:`ScatterChurnAdversary` / :class:`OverlapChurnAdversary` —
+  the async-transport pair: scatter keeps consecutive heal regions
+  *disjoint* (maximizing concurrency), overlap deliberately fires the
+  next event *inside* a recent heal's region (and sometimes at its
+  would-be coordinator), the worst case for the region-lease handoff
+  protocol.  Both probe regions through the shared :func:`region_ball`
+  helper.
 
 Deletion-only strategies compose: :class:`DeletionOnlyChurnAdversary`
 lifts any classic :class:`Adversary` into the churn interface.
@@ -69,6 +76,28 @@ class ChurnAdversary(abc.ABC):
         nid = self._next_id
         self._next_id += 1
         return nid
+
+
+def region_ball(graph, centers, radius: int) -> set:
+    """Union of the ``radius``-hop balls around ``centers`` in ``graph``.
+
+    The shared region-probing primitive of the concurrency-aware churn
+    adversaries: a heal's footprint is concentrated around its trigger,
+    so the ball around recent victims/attachment points approximates the
+    in-flight regions — scatter avoids it, overlap aims into it.  Dead
+    centers (no longer in the graph) contribute nothing.
+    """
+    ball: set = set()
+    for center in centers:
+        if center not in graph:
+            continue
+        seen = {center}
+        frontier = [center]
+        for _ in range(radius):
+            frontier = [m for x in frontier for m in graph[x] if m not in seen]
+            seen.update(frontier)
+        ball |= seen
+    return ball
 
 
 def _pick_attachment(
@@ -223,24 +252,8 @@ class ScatterChurnAdversary(ChurnAdversary):
         self._rng = random.Random(seed)
         self._recent: list = []
 
-    def _hot_zone(self, healer: Healer) -> set:
-        graph = healer.graph()
-        hot = set()
-        for center in self._recent:
-            if center not in graph:
-                continue
-            ball = {center}
-            frontier = [center]
-            for _ in range(self.radius):
-                frontier = [
-                    m for x in frontier for m in graph[x] if m not in ball
-                ]
-                ball.update(frontier)
-            hot |= ball
-        return hot
-
     def _scattered_pick(self, healer: Healer, alive: list) -> int:
-        hot = self._hot_zone(healer)
+        hot = region_ball(healer.graph(), self._recent, self.radius)
         cold = [x for x in alive if x not in hot]
         choice = self._rng.choice(cold if cold else alive)
         self._recent.append(choice)
@@ -260,6 +273,118 @@ class ScatterChurnAdversary(ChurnAdversary):
         super().reset()
         self._rng = random.Random(self.seed)
         self._recent = []
+
+
+class OverlapChurnAdversary(ChurnAdversary):
+    """Conflict-seeking churn: events deliberately land inside the
+    regions of recent heals.
+
+    The adversarial mirror of :class:`ScatterChurnAdversary`, built for
+    the region-lease overlap policy (``overlap="lease"`` campaigns):
+    with probability ``p_overlap`` the next victim (or attachment point)
+    is drawn from the :func:`region_ball` around the last ``spread``
+    event centers — on the async transport those regions are typically
+    *still healing*, so the event's footprint intersects an in-flight
+    repair and must go through coordinator handoff.  With probability
+    ``p_coordinator`` the victim is a recorded **coordinator candidate**
+    (the smallest-id image neighbor of a recent victim at its deletion
+    time — the node the protocols elect to coordinate that heal), the
+    shot that exercises the coordinator-death escalation.  Remaining
+    rounds fall back to uniform churn; ``p_insert`` splits joins from
+    deletions throughout.
+    """
+
+    name = "overlap-churn"
+
+    def __init__(
+        self,
+        p_insert: float = 0.2,
+        p_overlap: float = 0.65,
+        p_coordinator: float = 0.1,
+        spread: int = 6,
+        radius: int = 2,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        for label, p in (
+            ("p_insert", p_insert),
+            ("p_overlap", p_overlap),
+            ("p_coordinator", p_coordinator),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{label} must be within [0, 1]")
+        if spread < 1 or radius < 0:
+            raise ValueError("spread must be >= 1 and radius >= 0")
+        self.p_insert = p_insert
+        self.p_overlap = p_overlap
+        self.p_coordinator = p_coordinator
+        self.spread = spread
+        self.radius = radius
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._recent: list = []
+        self._coordinators: list = []
+
+    def _remember(self, center: int, graph) -> None:
+        # A deletion's heal region lives around the victim's *surviving
+        # neighbors* (the victim itself leaves the graph, so a ball
+        # centered on it alone would evaporate); remember those as the
+        # event's anchor group, plus the center for insertions.  One
+        # group per event, the last ``spread`` events kept — the same
+        # event-counting semantics ``spread`` has for the scatter
+        # adversary.
+        neighbors = sorted(m for m in graph.get(center, ()) if m != center)
+        self._recent.append((center, *neighbors[:3]))
+        if len(self._recent) > self.spread:
+            self._recent.pop(0)
+        # The would-be coordinator of this event's heal: the smallest-id
+        # surviving neighbor (the election rule both protocols share).
+        if neighbors:
+            self._coordinators.append(neighbors[0])
+            if len(self._coordinators) > self.spread:
+                self._coordinators.pop(0)
+
+    def _anchors(self) -> list:
+        return [a for group in self._recent for a in group]
+
+    def _overlapping_pick(self, healer: Healer, alive: list) -> int:
+        graph = healer.graph()
+        hot = sorted(region_ball(graph, self._anchors(), self.radius) & set(alive))
+        choice = self._rng.choice(hot if hot else alive)
+        self._remember(choice, graph)
+        return choice
+
+    def _uniform_pick(self, healer: Healer, alive: list) -> int:
+        choice = self._rng.choice(alive)
+        self._remember(choice, healer.graph())
+        return choice
+
+    def next_event(self, healer: Healer) -> ChurnEvent:
+        alive = sorted(healer.alive)
+        if not alive:
+            raise SimulationOverError("network is empty")
+        if len(alive) <= 1 or self._rng.random() < self.p_insert:
+            pick = (
+                self._overlapping_pick(healer, alive)
+                if self._rng.random() < self.p_overlap
+                else self._uniform_pick(healer, alive)
+            )
+            return Insert(self._fresh_id(healer), pick)
+        if self._rng.random() < self.p_coordinator:
+            live_coords = [c for c in self._coordinators if c in healer.alive]
+            if live_coords:
+                victim = self._rng.choice(sorted(set(live_coords)))
+                self._remember(victim, healer.graph())
+                return Delete(victim)
+        if self._rng.random() < self.p_overlap:
+            return Delete(self._overlapping_pick(healer, alive))
+        return Delete(self._uniform_pick(healer, alive))
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self.seed)
+        self._recent = []
+        self._coordinators = []
 
 
 class GrowthThenMassacreAdversary(ChurnAdversary):
@@ -398,6 +523,7 @@ CHURN_ADVERSARY_CATALOG = {
         RandomChurnAdversary,
         WaveChurnAdversary,
         ScatterChurnAdversary,
+        OverlapChurnAdversary,
         GrowthThenMassacreAdversary,
         OscillatingChurnAdversary,
         TraceReplayAdversary,

@@ -170,6 +170,45 @@ class HealReport:
     def is_insertion(self) -> bool:
         return self.inserted is not None or bool(self.inserted_batch)
 
+    def net_edge_deltas(self) -> Tuple[FrozenSet[Tuple[int, int]], FrozenSet[Tuple[int, int]]]:
+        """Net ``(added, removed)`` replayed from the chronological log.
+
+        The summary sets are *disjointified* (``added - removed`` /
+        ``removed - added``), so an edge that toggles an odd number of
+        times inside one heal — removed, re-added, removed again —
+        vanishes from both and the summary under-reports the net delta.
+        Replaying the raw event order recovers it: an edge's net effect
+        is decided by its first and last transition (first=removed says
+        it existed before the round, last=removed says it is gone after,
+        so R…R nets to removed; A…A nets to added; mixed ends cancel).
+
+        Summary entries with no recorded edge events are trusted as-is —
+        healers may append post-hoc bookkeeping outside the event log
+        (e.g. :class:`~repro.baselines.forgiving.ForgivingTreeHealer`
+        dropping a victim's surviving non-tree extras), and the
+        baselines build reports from plain graph diffs with no events.
+        """
+        first: dict = {}
+        last: dict = {}
+        for event in self.events:
+            if isinstance(event, (EdgeAdded, EdgeRemoved)):
+                key = event.key()
+                first.setdefault(key, event)
+                last[key] = event
+        added = {
+            k
+            for k in last
+            if isinstance(first[k], EdgeAdded) and isinstance(last[k], EdgeAdded)
+        }
+        removed = {
+            k
+            for k in last
+            if isinstance(first[k], EdgeRemoved) and isinstance(last[k], EdgeRemoved)
+        }
+        added |= {k for k in self.edges_added if k not in first}
+        removed |= {k for k in self.edges_removed if k not in first}
+        return frozenset(added), frozenset(removed)
+
     @property
     def total_messages(self) -> int:
         return sum(self.messages_per_node.values())

@@ -111,11 +111,30 @@ class DistributedForgivingTree:
         if nid not in self.network:
             raise NodeNotFoundError(nid, "delete")
 
+    def heal_coordinator(self, nid: int) -> Optional[int]:
+        """Who would anchor the heal of ``nid``, from live local state.
+
+        The Forgiving Tree repair has no single coordinator — it is
+        will-driven, every notified neighbor acts from its own portion —
+        so the *handoff anchor* (the node a delegated overlapping event
+        queues on, see ``docs/LEASES.md``) is defined as the smallest-id
+        notified neighbor: deterministic, computable by every notified
+        node without extra messages, and the same rule the Forgiving
+        Graph protocol already uses for its real coordinator.  ``None``
+        for an isolated victim (nobody is notified, nothing to anchor).
+        """
+        if nid not in self.network:
+            raise NodeNotFoundError(nid, "heal_coordinator")
+        claims = self.network.nodes[nid].neighbor_claims()
+        return min(claims) if claims else None
+
     def inject_delete(self, nid: int) -> None:
         """Remove the victim and send the failure fan-out *without*
         draining the network.  Async transports use this to overlap
-        several heals; :meth:`delete` is the inject-then-drain wrapper.
-        The caller must have opened an accounting window."""
+        several heals (delegated events resume this way mid-flight
+        under the region-lease policy); :meth:`delete` is the
+        inject-then-drain wrapper.  The caller must have opened an
+        accounting window."""
         self.check_delete(nid)
         self.rounds += 1
         victim = self.network.remove(nid)

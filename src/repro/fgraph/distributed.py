@@ -195,6 +195,20 @@ class FGNode:
         if self.ins_parent == msg.victim:
             self.ins_parent = None  # insertion-forest root from now on
         if msg.coordinator == self.nid:
+            if self._await_reports or self._victim is not None:
+                # Coordinator duty is single-slot: a second heal naming
+                # this node coordinator mid-gather would clobber the
+                # report tally.  The admission layers guarantee it never
+                # happens — the sync network quiesces per event, the
+                # async transport's footprints/leases keep a busy
+                # coordinator's region exclusive until release — so a
+                # message landing here means an overlapping heal was
+                # admitted unsafely.  Fail loudly instead of corrupting.
+                raise ProtocolError(
+                    f"node {self.nid}: asked to coordinate the heal of "
+                    f"{msg.victim} while still coordinating {self._victim} "
+                    "(overlapping heal admitted without a lease handoff)"
+                )
             self._victim = msg.victim
             self._victim_was_direct = was_direct
             self._await_reports = msg.n_reports - 1  # everyone but itself
@@ -354,10 +368,23 @@ class DistributedForgivingGraph:
         if nid not in self.network:
             raise NodeNotFoundError(nid, "delete")
 
+    def heal_coordinator(self, nid: int) -> Optional[int]:
+        """The coordinator the heal of ``nid`` would elect, from live
+        local state: the smallest-id image neighbor — the same node
+        :meth:`inject_delete`'s fan-out names.  Under the region-lease
+        overlap policy this is also the handoff anchor a delegated
+        overlapping event queues on (``docs/LEASES.md``); ``None`` for
+        an isolated victim."""
+        if nid not in self.network:
+            raise NodeNotFoundError(nid, "heal_coordinator")
+        claims = self.network.nodes[nid].neighbor_claims()
+        return min(claims) if claims else None
+
     def inject_delete(self, nid: int) -> None:
         """Remove the victim and send the failure fan-out *without*
-        draining the network (async transports overlap heals; the
-        caller must have opened an accounting window)."""
+        draining the network (async transports overlap heals — and
+        resume delegated events mid-flight under the region-lease
+        policy; the caller must have opened an accounting window)."""
         self.check_delete(nid)
         self.rounds += 1
         victim = self.network.remove(nid)

@@ -153,13 +153,23 @@ class DynamicTreeMetrics:
     # the delta feed
     # ------------------------------------------------------------------
     def apply_report(self, report) -> None:
-        """Consume one heal/insert round's :class:`HealReport` delta."""
+        """Consume one heal/insert round's :class:`HealReport` delta.
+
+        Deletion rounds replay the **net deltas from the raw
+        chronological event log** (:meth:`HealReport.net_edge_deltas`),
+        not the report's disjointified summary sets: an edge toggling an
+        odd number of times inside one heal (removed, re-added, removed
+        again — observed under RandomChurn at n=300) vanishes from both
+        summary sets, and feeding those here would leave a phantom edge
+        in the maintained overlay.  The transport mirror replays the
+        same way (``TransportMirror.apply``)."""
         if report.is_insertion:
             pairs = report.inserted_batch or ((report.inserted, report.attached_to),)
             for nid, attach_to in pairs:
                 self.insert_leaf(nid, attach_to)
         else:
-            self.apply_delete(report.deleted, report.edges_added, report.edges_removed)
+            added, removed = report.net_edge_deltas()
+            self.apply_delete(report.deleted, added, removed)
 
     def insert_leaf(self, nid: int, attach_to: int) -> None:
         """A fresh leaf ``nid`` joined under live ``attach_to`` — O(depth)."""

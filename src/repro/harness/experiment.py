@@ -312,7 +312,13 @@ def run_campaign(
         runtime — over the synchronous network, or the discrete-event
         async one with concurrent in-flight heals — cross-validating the
         healed images at every quiesce barrier; the observations land in
-        :attr:`CampaignResult.transport`.  Default: off.
+        :attr:`CampaignResult.transport`.  ``"lease"`` (shorthand for
+        ``TransportSpec(mode="async", overlap="lease")``) additionally
+        admits events whose heal footprints *intersect* in-flight
+        repairs through the region-lease handoff protocol
+        (:mod:`repro.regions`) instead of serializing them behind a
+        global barrier; lease waits and escalations are reported in the
+        summary.  Default: off.
     """
     initial = healer.graph()
     n0 = len(initial)
@@ -408,8 +414,10 @@ def run_churn_campaign(
 
     ``transport`` mirrors the campaign onto the matching distributed
     runtime (``"sync"`` per-event, ``"async"`` with concurrent in-flight
-    heals over the discrete-event simnet), cross-validating the healed
-    image at every quiesce barrier — see :func:`run_campaign`.
+    heals over the discrete-event simnet, ``"lease"`` additionally
+    interleaving *overlapping* heals via region leases and coordinator
+    handoff), cross-validating the healed image at every quiesce
+    barrier — see :func:`run_campaign`.
     """
     initial = healer.graph()
     n0 = len(initial)

@@ -1,0 +1,52 @@
+"""regions — region leases and coordinator handoff for overlapping heals.
+
+The protocol layer that lets churn events with *intersecting* heal
+footprints make progress concurrently instead of serializing behind a
+global quiesce barrier: a deterministic per-node lease table
+(:class:`LeaseManager`), the handoff state machine every event walks
+(:mod:`repro.regions.handoff`), and counted escalation back to the
+barrier when handoff is unsafe.  Wired into campaigns through
+``TransportSpec(overlap="lease")`` — see ``docs/LEASES.md``.
+"""
+
+from .handoff import (
+    DELEGATED,
+    ESCALATED,
+    ESCALATION_REASONS,
+    GRANTED,
+    INJECTED,
+    RELEASED,
+    REQUESTED,
+    RESUMED,
+    DeferredHeal,
+    HandoffError,
+    HandoffLedger,
+    HealHandoff,
+)
+from .leases import (
+    LeaseDecision,
+    LeaseError,
+    LeaseManager,
+    LeaseTableStats,
+    Priority,
+)
+
+__all__ = [
+    "DELEGATED",
+    "ESCALATED",
+    "ESCALATION_REASONS",
+    "GRANTED",
+    "INJECTED",
+    "RELEASED",
+    "REQUESTED",
+    "RESUMED",
+    "DeferredHeal",
+    "HandoffError",
+    "HandoffLedger",
+    "HealHandoff",
+    "LeaseDecision",
+    "LeaseError",
+    "LeaseManager",
+    "LeaseTableStats",
+    "Priority",
+]

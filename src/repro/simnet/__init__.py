@@ -26,6 +26,7 @@ from .scheduler import (
     resolve_scheduler,
 )
 from .transport import (
+    OVERLAP_POLICIES,
     TRANSPORT_MODES,
     TransportDivergence,
     TransportMirror,
@@ -37,6 +38,7 @@ from .transport import (
 
 __all__ = [
     "LATENCY_CATALOG",
+    "OVERLAP_POLICIES",
     "SCHEDULER_CATALOG",
     "TRANSPORT_MODES",
     "AdversarialScheduler",

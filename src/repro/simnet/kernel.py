@@ -74,16 +74,28 @@ class HealStats(RoundStats):
     heal's causal depth (number of delivery layers), directly comparable
     to the synchronous network's sub-round count — with virtual-time
     bookkeeping: ``heal_latency`` is how long the repair stayed in
-    flight, the quantity EXP-ASYNC-THROUGHPUT measures.
+    flight, the quantity EXP-ASYNC-THROUGHPUT measures.  Under the
+    region-lease overlap policy a heal may be *requested* before it can
+    inject (its footprint was leased to an in-flight repair);
+    ``requested_at`` records that moment and ``lease_wait`` the time the
+    event spent queued on the blocking coordinator.
     """
 
     injected_at: float = 0.0
     quiesced_at: float = 0.0
     label: str = ""
+    requested_at: Optional[float] = None
 
     @property
     def heal_latency(self) -> float:
         return self.quiesced_at - self.injected_at
+
+    @property
+    def lease_wait(self) -> float:
+        """Virtual time spent waiting for the footprint's leases."""
+        if self.requested_at is None:
+            return 0.0
+        return self.injected_at - self.requested_at
 
 
 class AsyncNetwork(Network):
@@ -142,9 +154,20 @@ class AsyncNetwork(Network):
         self._compat_hid: Optional[int] = None
 
     # -- heal lifecycle ----------------------------------------------------
-    def open_heal(self, label: str = "", round_no: Optional[int] = None) -> int:
+    def open_heal(
+        self,
+        label: str = "",
+        round_no: Optional[int] = None,
+        requested_at: Optional[float] = None,
+    ) -> int:
         """Open an injection window: subsequent sends are this heal's
-        depth-0 notifications.  Returns the heal id."""
+        depth-0 notifications.  Returns the heal id.
+
+        ``requested_at`` back-dates the heal's request time for the
+        lease-wait accounting: a heal deferred by the region-lease
+        admission was *requested* when its churn event fired, even
+        though it only injects now (see :attr:`HealStats.lease_wait`).
+        """
         if self._ctx is not None:
             raise ProtocolError("open_heal while another context is active")
         hid = self._next_hid
@@ -153,6 +176,7 @@ class AsyncNetwork(Network):
             round=hid if round_no is None else round_no,
             injected_at=self.clock,
             label=label,
+            requested_at=requested_at,
         )
         self._buckets[hid] = {}
         self._pending[hid] = 0
@@ -290,6 +314,44 @@ class AsyncNetwork(Network):
     def quiesce(self) -> None:
         """Drain the queue completely (the epoch barrier primitive)."""
         self.run_until(math.inf)
+
+    def drain_heals(self, hids) -> None:
+        """Deliver until every heal in ``hids`` has quiesced.
+
+        The targeted-drain primitive of the region-lease path: unlike
+        :meth:`quiesce` it stops as soon as the named heals are done, so
+        unrelated in-flight repairs keep their queued messages (and the
+        clock only advances as far as the deliveries actually made).
+        Deliveries are still scheduler-picked among *all* deliverable
+        messages — stopping early narrows the drain, never the legality
+        of the interleaving.
+        """
+        targets = [h for h in hids if self._pending.get(h, 0) > 0]
+        while any(self._pending.get(h, 0) > 0 for h in targets):
+            deliverable = self._deliverable(math.inf)
+            if not deliverable:  # pragma: no cover - defensive
+                raise ProtocolError(
+                    f"heals {targets} pending but nothing deliverable"
+                )
+            self._deliver(self.scheduler.pick(deliverable))
+
+    def log_control(self, tag: str, ref: int) -> None:
+        """Record a control transition (lease grant/release, handoff,
+        escalation) as a first-class entry in the causal event log.
+
+        Control entries share the delivery-log tuple shape with sender
+        and recipient of ``-1`` and a depth of ``-1``, so the pinned
+        determinism artifacts interleave protocol traffic and admission
+        decisions on one timeline.  ``ref`` is a *kernel heal id* for
+        post-injection entries (``lease-grant``/``lease-release`` —
+        these correlate directly with the heal's delivery rows) and an
+        *admission-layer event id* for pre-injection entries
+        (``lease-defer``/``lease-resume``/``lease-escalate-*``, whose
+        heal does not exist yet); the tag says which id space applies.
+        No-op unless ``record_log``.
+        """
+        if self.record_log:
+            self.event_log.append((round(self.clock, 9), ref, -1, -1, -1, tag))
 
     # -- instrumentation ---------------------------------------------------
     def _sample(self) -> None:

@@ -22,16 +22,28 @@ event — the node-for-node tally parity between the sequential engines
 and the distributed runtimes is what makes the report a sound oracle).
 Two heals with disjoint footprints exchange no messages with any common
 node, so their deliveries commute and any legal interleaving converges
-to the sequential composition; when a new event's footprint touches an
-in-flight heal, the mirror inserts a **quiesce barrier** first (the
-event is serialized behind the conflicting repair — the same rule the
-papers' adversary model implies, which never fires a node while its
-region is still healing).
+to the sequential composition.  What happens when footprints *intersect*
+is the ``overlap=`` policy:
 
-At every barrier — conflict-forced, cadence (``barrier_every``), or
-final — the mirror drains the network, asserts protocol quiescence, and
-cross-validates the distributed image against the oracle's healed graph
-node-for-node, raising :class:`TransportDivergence` on any mismatch.
+* ``overlap="serialize"`` (default, the PR 4 behavior) — the mirror
+  inserts a **quiesce barrier** before the conflicting event: the whole
+  network drains, even repairs nowhere near the conflict.
+* ``overlap="lease"`` — per-node **region leases**
+  (:mod:`repro.regions`): the event acquires leases on its footprint;
+  on conflict it is *delegated* to the blocking heal's coordinator and
+  resumed the instant the blocking lease releases, while every disjoint
+  repair keeps flying and later disjoint events keep injecting.
+  Handoff that would be unsafe — the event kills a coordinator, a
+  lease cycle is detected, the wait convoy exceeds ``max_wait_chain`` —
+  **escalates** to the global quiesce barrier, counted per reason and
+  reported in the summary, never silent.
+
+At every barrier — conflict-forced or escalated, cadence
+(``barrier_every``), or final — the mirror drains the network (in lease
+mode: flushes every delegated event in priority order first), asserts
+protocol quiescence, and cross-validates the distributed image against
+the oracle's healed graph node-for-node, raising
+:class:`TransportDivergence` on any mismatch.
 """
 
 from __future__ import annotations
@@ -40,14 +52,27 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.errors import ReproError
-from ..core.events import EdgeAdded, EdgeRemoved, HealReport
+from ..core.events import HealReport
 from ..graphs.spanning import bfs_tree
+from ..regions import (
+    DELEGATED,
+    DeferredHeal,
+    HandoffLedger,
+    LeaseError,
+    LeaseManager,
+)
 from .kernel import AsyncNetwork
 from .latency import LatencySpec
 from .scheduler import SchedulerSpec
 
 #: ``transport=`` modes for the campaign runners (mirrors ``metrics=``).
-TRANSPORT_MODES = ("none", "sync", "async")
+#: ``"lease"`` is shorthand for async transport with ``overlap="lease"``.
+TRANSPORT_MODES = ("none", "sync", "async", "lease")
+
+#: What to do when a new event's heal footprint intersects an in-flight
+#: repair: serialize behind a global quiesce barrier (PR 4 behavior) or
+#: admit through the region-lease / coordinator-handoff protocol.
+OVERLAP_POLICIES = ("serialize", "lease")
 
 
 class TransportDivergence(ReproError, AssertionError):
@@ -63,7 +88,10 @@ class TransportSpec:
     ``gap`` is the virtual inter-arrival time between injected events
     (smaller gap = more heals in flight); ``barrier_every`` is the
     quiesce/cross-validate cadence in events (0 = only conflict-forced
-    and final barriers).
+    and final barriers).  ``overlap`` picks the policy for intersecting
+    heal footprints (:data:`OVERLAP_POLICIES`); under ``"lease"``,
+    ``max_wait_chain`` bounds the delegation convoy before the mirror
+    escalates back to a global barrier.
     """
 
     mode: str = "async"
@@ -74,6 +102,8 @@ class TransportSpec:
     barrier_every: int = 8
     max_depth: int = 4096
     record_samples: bool = False
+    overlap: str = "serialize"
+    max_wait_chain: int = 32
 
     def __post_init__(self) -> None:
         if self.mode not in ("sync", "async"):
@@ -82,6 +112,15 @@ class TransportSpec:
             raise ValueError("gap must be >= 0")
         if self.barrier_every < 0:
             raise ValueError("barrier_every must be >= 0")
+        if self.overlap not in OVERLAP_POLICIES:
+            raise ValueError(
+                f"unknown overlap policy {self.overlap!r} "
+                f"(one of {OVERLAP_POLICIES})"
+            )
+        if self.overlap == "lease" and self.mode != "async":
+            raise ValueError("overlap='lease' needs the async transport")
+        if self.max_wait_chain < 1:
+            raise ValueError("max_wait_chain must be >= 1")
 
 
 TransportInput = Union[None, str, TransportSpec]
@@ -99,6 +138,8 @@ def resolve_transport(
         )
     if transport in ("sync", "async"):
         return TransportSpec(mode=transport, seed=seed)
+    if transport == "lease":
+        return TransportSpec(mode="async", overlap="lease", seed=seed)
     raise ValueError(
         f"unknown transport {transport!r} (one of {TRANSPORT_MODES} or a TransportSpec)"
     )
@@ -166,9 +207,28 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
     return sorted_values[rank]
 
 
+def _percentile_summary(values: Sequence[float]) -> Dict[str, float]:
+    ordered = sorted(values)
+    return {
+        "p50": _percentile(ordered, 0.50),
+        "p90": _percentile(ordered, 0.90),
+        "p99": _percentile(ordered, 0.99),
+        "max": ordered[-1] if ordered else 0.0,
+        "mean": (sum(ordered) / len(ordered)) if ordered else 0.0,
+    }
+
+
 @dataclass
 class TransportSummary:
-    """What a campaign's transport mirror observed (per campaign)."""
+    """What a campaign's transport mirror observed (per campaign).
+
+    The lease block (``overlap="lease"`` campaigns) reports the handoff
+    protocol's behavior: how many events waited for a lease (and for how
+    much virtual time), how many were admitted without conflict, the
+    deepest delegation queue, and every escalation back to the global
+    barrier broken down by reason — the honest record of how often the
+    overlap protocol could *not* keep intersecting heals concurrent.
+    """
 
     mode: str
     latency: str
@@ -183,17 +243,25 @@ class TransportSummary:
     messages_delivered: int = 0
     heal_latencies: List[float] = field(default_factory=list)
     peak_sub_rounds: int = 0
+    overlap: str = "serialize"
+    lease_grants: int = 0
+    lease_waits: int = 0
+    lease_wait_times: List[float] = field(default_factory=list)
+    peak_deferred: int = 0
+    escalations: Dict[str, int] = field(default_factory=dict)
 
     @property
     def heal_latency_percentiles(self) -> Dict[str, float]:
-        values = sorted(self.heal_latencies)
-        return {
-            "p50": _percentile(values, 0.50),
-            "p90": _percentile(values, 0.90),
-            "p99": _percentile(values, 0.99),
-            "max": values[-1] if values else 0.0,
-            "mean": (sum(values) / len(values)) if values else 0.0,
-        }
+        return _percentile_summary(self.heal_latencies)
+
+    @property
+    def lease_wait_percentiles(self) -> Dict[str, float]:
+        """Distribution of the delegated events' virtual wait times."""
+        return _percentile_summary(self.lease_wait_times)
+
+    @property
+    def total_escalations(self) -> int:
+        return sum(self.escalations.values())
 
 
 class TransportMirror:
@@ -236,6 +304,13 @@ class TransportMirror:
         self.barriers = 0
         self.conflict_barriers = 0
         self._since_barrier = 0
+        # Region-lease state (overlap="lease" only): the lease table,
+        # the per-event handoff ledger, the parked delegated events, and
+        # the kernel-heal-id -> event-id map of injected lease heals.
+        self.leases = LeaseManager()
+        self.ledger = HandoffLedger()
+        self._deferred: Dict[int, DeferredHeal] = {}
+        self._live: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def _build_driver(self, healer):
@@ -279,20 +354,20 @@ class TransportMirror:
         """Mirror one oracle event onto the distributed runtime."""
         if self.spec.mode == "sync":
             self._apply_now(report)
+        elif self.spec.overlap == "lease":
+            self._apply_lease(report)
         else:
-            self._apply_async(report)
+            self._apply_serialize(report)
         self.events += 1
-        # Replay the raw chronological edge transitions, not the
-        # report's summary sets: those are disjointified, so an edge
-        # that toggles an odd number of times inside one heal (removed,
-        # re-added, removed again) vanishes from both and the summary
+        # Net deltas replayed from the raw chronological edge events,
+        # not the report's disjointified summary sets: an edge that
+        # toggles an odd number of times inside one heal (removed,
+        # re-added, removed again) vanishes from both summary sets and
         # under-reports the net change.  (FT reports may also remove
         # non-tree extras the mirror never carried: discard semantics.)
-        for event in report.events:
-            if isinstance(event, EdgeAdded):
-                self._expected.add(event.key())
-            elif isinstance(event, EdgeRemoved):
-                self._expected.discard(event.key())
+        added, removed = report.net_edge_deltas()
+        self._expected -= removed
+        self._expected |= added
         self._since_barrier += 1
         if self.spec.barrier_every and self._since_barrier >= self.spec.barrier_every:
             self.barrier()
@@ -303,7 +378,7 @@ class TransportMirror:
         else:
             self.driver.delete(report.deleted)
 
-    def _apply_async(self, report: HealReport) -> None:
+    def _apply_serialize(self, report: HealReport) -> None:
         assert self.net is not None
         footprint = heal_footprint(report, graph=self._oracle_graph())
         self._prune_inflight()
@@ -317,16 +392,183 @@ class TransportMirror:
             # inter-arrival gap, delivering whatever legally lands.
             self.net.run_until(self.net.clock + self.spec.gap)
             self._prune_inflight()
+        hid = self._inject(report)
+        if self.net.heal_pending(hid):
+            self._inflight[hid] = footprint
+
+    def _inject(self, report: HealReport, requested_at: Optional[float] = None) -> int:
+        """Open a kernel heal, inject the event, close the window.
+
+        The one injection path both overlap policies share; returns the
+        kernel heal id (``requested_at`` back-dates the lease wait)."""
+        assert self.net is not None
         hid = self.net.open_heal(
-            label="insert" if report.is_insertion else f"delete-{report.deleted}"
+            label="insert" if report.is_insertion else f"delete-{report.deleted}",
+            requested_at=requested_at,
         )
         if report.is_insertion:
             self.driver.inject_insert_batch(self._wave(report))
         else:
             self.driver.inject_delete(report.deleted)
         self.net.close_injection()
+        return hid
+
+    # -- the region-lease overlap policy -------------------------------
+    def _apply_lease(self, report: HealReport) -> None:
+        """Admit one event through lease acquisition (see module doc).
+
+        Intersecting events are delegated and resumed instead of forcing
+        a global drain; only unsafe handoff (coordinator death, a lease
+        cycle, an over-deep wait convoy) escalates to the barrier.
+        """
+        assert self.net is not None
+        footprint = frozenset(heal_footprint(report, graph=self._oracle_graph()))
+        self._pump_leases()
+        eid = self.events
+        now = self.net.clock
+        self.ledger.request(eid, now)
+        if not report.is_insertion and report.deleted in self.leases.coordinators():
+            # The event kills a node anchoring an in-flight heal or a
+            # handoff queue: delegation would die with it.
+            self._escalate(eid, "coordinator-death", report, footprint, now)
+            return
+        decision = self.leases.acquire(eid, footprint, (now, eid))
+        if decision.granted:
+            self.ledger.granted(eid, now)
+            # The event arrives mid-flight: advance virtual time by the
+            # inter-arrival gap, delivering whatever legally lands.
+            self.net.run_until(self.net.clock + self.spec.gap)
+            self._pump_leases()
+            self._inject_lease_heal(eid, report)
+            return
+        self._deferred[eid] = DeferredHeal(
+            eid=eid,
+            report=report,
+            footprint=footprint,
+            priority=(now, eid),
+            delegated_to=decision.delegated_to,
+        )
+        self.ledger.delegated(eid, now, decision.delegated_to)
+        self.net.log_control("lease-defer", eid)
+        if self.leases.find_cycle() is not None:
+            self._escalate(eid, "lease-cycle", report, footprint, now)
+            return
+        if self.leases.wait_chain_depth() > self.spec.max_wait_chain:
+            self._escalate(eid, "wait-chain", report, footprint, now)
+            return
+        # Time still flows while the event queues on the coordinator.
+        self.net.run_until(self.net.clock + self.spec.gap)
+        self._pump_leases()
+
+    def _escalate(
+        self,
+        eid: int,
+        reason: str,
+        report: HealReport,
+        footprint: frozenset,
+        now: float,
+    ) -> None:
+        """Unsafe handoff: fall back to the global quiesce barrier.
+
+        The escalating event is withdrawn from the handoff queue (if it
+        was already delegated), the barrier flushes every *other*
+        delegated event in priority order and cross-validates — the
+        escalating event is the oracle's newest, so the verified image
+        correctly excludes it — and the event is then admitted against
+        the empty lease table and injected.
+        """
+        assert self.net is not None
+        if eid in self._deferred:
+            del self._deferred[eid]
+            # Nothing can wait on the newest request, so the withdraw
+            # cascade is structurally empty — but honor any grants it
+            # returns rather than strand them.
+            self._resume(self.leases.withdraw(eid))
+        self.ledger.escalated(eid, now, reason)
+        self.net.log_control(f"lease-escalate-{reason}", eid)
+        self.barrier()
+        decision = self.leases.acquire(eid, footprint, (now, eid))
+        assert decision.granted  # the table is empty after a barrier
+        self._inject_lease_heal(eid, report)
+
+    def _inject_lease_heal(self, eid: int, report: HealReport) -> None:
+        """Inject a lease-admitted event, with the handoff bookkeeping."""
+        assert self.net is not None
+        handoff = self.ledger[eid]
+        waited = handoff.state != "granted"
+        if report.is_insertion:
+            coordinator: Optional[int] = self._wave(report)[0][1]
+        else:
+            # Computed *before* injection: the victim's removal consumes
+            # its local neighbor claims.
+            coordinator = self.driver.heal_coordinator(report.deleted)
+        hid = self._inject(
+            report, requested_at=handoff.requested_at if waited else None
+        )
+        self.leases.set_coordinator(eid, coordinator)
+        self.ledger.injected(eid, self.net.clock)
+        # Grant rows carry the *kernel heal id*, correlating the
+        # admission decision with the heal's delivery rows.
+        self.net.log_control("lease-grant", hid)
         if self.net.heal_pending(hid):
-            self._inflight[hid] = footprint
+            self._live[hid] = eid
+        else:
+            self._release_lease(eid, hid)
+
+    def _pump_leases(self) -> None:
+        """Release leases of quiesced heals; resume what unblocks."""
+        assert self.net is not None
+        done = [
+            (hid, eid)
+            for hid, eid in self._live.items()
+            if self.net.heal_pending(hid) == 0
+        ]
+        for hid, eid in done:
+            del self._live[hid]
+            self._release_lease(eid, hid)
+
+    def _release_lease(self, eid: int, hid: int) -> None:
+        """Lease release is a causal event: grants cascade in priority
+        order, and every resumed event injects immediately (its leases
+        are already held)."""
+        assert self.net is not None
+        self.ledger.released(eid, self.net.clock)
+        self.net.log_control("lease-release", hid)
+        self._resume(self.leases.release(eid))
+
+    def _resume(self, resumed_eids: Sequence[int]) -> None:
+        """Inject newly granted deferred events, in the given order."""
+        assert self.net is not None
+        now = self.net.clock
+        for resumed in resumed_eids:
+            deferred = self._deferred.pop(resumed)
+            if self.ledger[resumed].state == DELEGATED:
+                self.ledger.resumed(resumed, now)
+                self.net.log_control("lease-resume", resumed)
+            self._inject_lease_heal(resumed, deferred.report)
+
+    def _flush_leases(self) -> None:
+        """Global barrier half of the lease path: drain, release, and
+        inject every delegated event in priority order until the
+        network is empty and no lease is held or queued.
+
+        The drain is targeted (:meth:`AsyncNetwork.drain_heals` on the
+        live lease heals) rather than a blanket quiesce, so the loop's
+        progress is attributable heal by heal; the closing quiesce is a
+        safety net for traffic outside the lease bookkeeping (there
+        should be none) and the cheap no-op that proves it.
+        """
+        assert self.net is not None
+        while self._live or self._deferred:
+            before = (len(self._live), len(self._deferred))
+            self.net.drain_heals(list(self._live))
+            self._pump_leases()
+            if (len(self._live), len(self._deferred)) == before and not self._live:
+                raise LeaseError(  # pragma: no cover - defensive
+                    f"flush stalled with deferred events "
+                    f"{sorted(self._deferred)} and no live heal to release"
+                )
+        self.net.quiesce()
 
     @staticmethod
     def _wave(report: HealReport) -> Sequence[Tuple[int, int]]:
@@ -345,10 +587,19 @@ class TransportMirror:
 
     # ------------------------------------------------------------------
     def barrier(self) -> None:
-        """Quiesce, assert protocol quiescence, cross-validate images."""
+        """Quiesce, assert protocol quiescence, cross-validate images.
+
+        Under ``overlap="lease"`` the quiesce first *flushes* the
+        handoff queue — every delegated event injects in priority order
+        as its blockers drain — so the verified image always includes
+        every oracle event mirrored so far."""
         if self.net is not None:
-            self.net.quiesce()
-            self._inflight.clear()
+            if self.spec.overlap == "lease" and self.spec.mode == "async":
+                self._flush_leases()
+                self.ledger.check_drained()
+            else:
+                self.net.quiesce()
+                self._inflight.clear()
         self.driver._check_quiescent()
         self.verify()
         self.barriers += 1
@@ -382,7 +633,14 @@ class TransportMirror:
             events=self.events,
             barriers=self.barriers,
             conflict_barriers=self.conflict_barriers,
+            overlap=spec.overlap if spec.mode == "async" else "serialize",
         )
+        if spec.mode == "async" and spec.overlap == "lease":
+            summary.lease_grants = self.ledger.immediate_grants
+            summary.lease_waits = self.ledger.lease_waits
+            summary.lease_wait_times = list(self.ledger.wait_times)
+            summary.peak_deferred = self.ledger.peak_deferred
+            summary.escalations = dict(self.ledger.escalations)
         history = self.driver.network.stats_history[1:]  # skip setup
         summary.peak_sub_rounds = max((s.sub_rounds for s in history), default=0)
         if self.net is not None:

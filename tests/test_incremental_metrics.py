@@ -420,3 +420,144 @@ class TestGeneralizedCascadeRegression:
         for nid in order:
             ft.delete(nid)
         assert len(ft) == 0
+
+
+class TestOddToggleRawEventReplay:
+    """The ROADMAP-flagged under-reporting: the report's summary sets
+    are disjointified, so an edge toggling an odd number of times inside
+    one FT heal (removed, re-added, removed) vanishes from both sets —
+    ``apply_report`` must consume the raw chronological net deltas
+    (``HealReport.net_edge_deltas``) instead, as the transport mirror
+    already does."""
+
+    # The observed case: n=300, random_tree seed 42, RandomChurn seed 7
+    # (p_insert=0.3) — event 49 removes, re-adds and removes again the
+    # edge (38, 226), which then appears in neither summary set.
+    N, TREE_SEED, ADV_SEED, P_INSERT = 300, 42, 7, 0.3
+    TOGGLE_EVENT, TOGGLE_EDGE = 49, (38, 226)
+
+    def _reports(self, events):
+        from repro.baselines import ForgivingTreeHealer
+
+        tree = generators.random_tree(self.N, seed=self.TREE_SEED)
+        healer = ForgivingTreeHealer({k: set(v) for k, v in tree.items()})
+        adversary = RandomChurnAdversary(p_insert=self.P_INSERT, seed=self.ADV_SEED)
+        adversary.reset()
+        for _ in range(events):
+            event = adversary.next_event(healer)
+            if isinstance(event, Insert):
+                yield healer, healer.insert(event.nid, event.attach_to)
+            else:
+                yield healer, healer.delete(event.nid)
+
+    def test_observed_toggle_case_is_pinned(self):
+        """The campaign really produces the odd toggle the ROADMAP
+        recorded: summary sets miss the edge, the raw replay nets it."""
+        for t, (healer, report) in enumerate(self._reports(self.TOGGLE_EVENT + 1)):
+            pass
+        assert t == self.TOGGLE_EVENT
+        key = self.TOGGLE_EDGE
+        ops = [
+            type(e).__name__[4]  # 'A'dded / 'R'emoved
+            for e in report.events
+            if type(e).__name__ in ("EdgeAdded", "EdgeRemoved") and e.key() == key
+        ]
+        assert ops == ["R", "A", "R"]  # the odd toggle
+        assert key not in report.edges_added
+        assert key not in report.edges_removed  # vanished from the summary
+        added, removed = report.net_edge_deltas()
+        assert key in removed and key not in added  # recovered by raw replay
+
+    def test_tracker_stays_exact_through_the_toggle(self):
+        """Feeding raw net deltas, the maintained overlay matches the
+        healer's graph edge-for-edge across the whole pinned campaign."""
+        tree = generators.random_tree(self.N, seed=self.TREE_SEED)
+        from repro.baselines import ForgivingTreeHealer
+
+        healer = ForgivingTreeHealer({k: set(v) for k, v in tree.items()})
+        tracker = DynamicTreeMetrics(healer.graph())
+        adversary = RandomChurnAdversary(p_insert=self.P_INSERT, seed=self.ADV_SEED)
+        adversary.reset()
+        for t in range(60):
+            event = adversary.next_event(healer)
+            if isinstance(event, Insert):
+                report = healer.insert(event.nid, event.attach_to)
+            else:
+                report = healer.delete(event.nid)
+            tracker.apply_report(report)
+            tracked = {
+                (u, v) for u, s in tracker._adj.items() for v in s if u < v
+            }
+            actual = {
+                (u, v) for u, s in healer.graph().items() for v in s if u < v
+            }
+            assert tracked == actual, f"divergence at event {t}"
+            tracker.check()
+
+    def test_synthetic_non_victim_incident_toggle(self):
+        """A toggle *not* incident to the victim cannot be rescued by
+        ``apply_delete``'s victim-edge normalization: the summary-set
+        feed leaves a phantom edge (absorbed as a chord), the raw-event
+        replay stays exact."""
+        from repro.core.events import EdgeAdded, EdgeRemoved, HealReport
+
+        graph = {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+        events = (
+            EdgeRemoved(2, 3),  # the victim's edge
+            EdgeRemoved(1, 2),  # the odd toggle: R...
+            EdgeAdded(1, 2),    # ...A...
+            EdgeRemoved(1, 2),  # ...R -> net removed, summary-invisible
+            EdgeAdded(0, 2),    # re-attach 2 under 0
+        )
+        added = frozenset(
+            e.key() for e in events if isinstance(e, EdgeAdded)
+        )
+        removed = frozenset(
+            e.key() for e in events if isinstance(e, EdgeRemoved)
+        )
+        report = HealReport(
+            deleted=3,
+            edges_added=added - removed,   # disjointified, as engines do
+            edges_removed=removed - added,
+            events=events,
+        )
+        assert (1, 2) not in report.edges_added
+        assert (1, 2) not in report.edges_removed
+        net_added, net_removed = report.net_edge_deltas()
+        assert net_added == {(0, 2)}
+        assert net_removed == {(1, 2), (2, 3)}
+
+        # the fixed path: exact tree, no phantom
+        fixed = DynamicTreeMetrics({k: set(v) for k, v in graph.items()})
+        fixed.apply_report(report)
+        assert {(u, v) for u, s in fixed._adj.items() for v in s if u < v} == {
+            (0, 1), (0, 2)
+        }
+        assert fixed.is_exact and fixed.diameter == 2
+        fixed.check()
+
+        # the old summary-set feed: the phantom (1, 2) survives as a chord
+        legacy = DynamicTreeMetrics({k: set(v) for k, v in graph.items()})
+        legacy.apply_delete(3, report.edges_added, report.edges_removed)
+        legacy_edges = {
+            (u, v) for u, s in legacy._adj.items() for v in s if u < v
+        }
+        assert (1, 2) in legacy_edges  # the under-report, demonstrated
+        assert not legacy.is_exact and legacy.n_chords == 1
+
+    def test_net_edge_deltas_units(self):
+        from repro.core.events import EdgeAdded, EdgeRemoved, HealReport
+
+        report = HealReport(
+            deleted=9,
+            edges_added=frozenset({(7, 8)}),  # summary-only entry (no event)
+            edges_removed=frozenset({(5, 6)}),
+            events=(
+                EdgeAdded(1, 2), EdgeRemoved(1, 2),   # transient: no net
+                EdgeRemoved(3, 4), EdgeAdded(3, 4),   # removed+restored: no net
+                EdgeAdded(2, 9), EdgeRemoved(2, 9), EdgeAdded(2, 9),  # A..A
+            ),
+        )
+        added, removed = report.net_edge_deltas()
+        assert added == {(2, 9), (7, 8)}
+        assert removed == {(5, 6)}

@@ -461,12 +461,16 @@ class TestInterleavingFuzz:
 # ----------------------------------------------------------------------
 class TestTransportPlumbing:
     def test_transport_modes(self):
-        assert TRANSPORT_MODES == ("none", "sync", "async")
+        assert TRANSPORT_MODES == ("none", "sync", "async", "lease")
         assert resolve_transport(None) is None
         assert resolve_transport("none") is None
         assert resolve_transport("sync", seed=3).mode == "sync"
         spec = resolve_transport("async", seed=3)
         assert spec.mode == "async" and spec.seed == 3
+        assert spec.overlap == "serialize"  # PR 4 behavior is the default
+        lease = resolve_transport("lease", seed=5)
+        assert lease.mode == "async" and lease.overlap == "lease"
+        assert lease.seed == 5
         # an explicit spec seed wins over the campaign seed
         assert resolve_transport(TransportSpec(seed=9), seed=3).seed == 9
         assert resolve_transport(TransportSpec(), seed=3).seed == 3
@@ -474,6 +478,12 @@ class TestTransportPlumbing:
             resolve_transport("carrier-pigeon")
         with pytest.raises(ValueError):
             TransportSpec(mode="quantum")
+        with pytest.raises(ValueError):
+            TransportSpec(overlap="optimistic")
+        with pytest.raises(ValueError):
+            TransportSpec(mode="sync", overlap="lease")
+        with pytest.raises(ValueError):
+            TransportSpec(overlap="lease", max_wait_chain=0)
 
     def test_unsupported_healer_raises(self):
         healer = NoRepairHealer(_tree_graph(10, 1))
