@@ -12,9 +12,10 @@ from repro import ForgivingTree
 from repro.graphs import generators
 from repro.harness import report
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import dump_bench, emit, table
 
 SIZES = (50, 150, 400)
+HEADERS = ["n", "will mode", "peak msgs/node", "total msgs"]
 
 
 def run_sweep():
@@ -42,13 +43,9 @@ def test_will_maintenance_ablation(benchmark, capsys):
         # Splice mode's peak per-node cost is flat; rebuild grows with n.
         assert by[(n, "splice")][2] <= by[(50, "splice")][2] + 4
     assert by[(400, "rebuild")][3] > by[(400, "splice")][3]
+    dump_bench("ablation_wills", {"will_maintenance": table(HEADERS, rows)})
     emit(
         capsys,
         report.banner("EXP-ABL-WILL  positional splice vs regenerate (star, leaf-kills)"),
     )
-    emit(
-        capsys,
-        report.format_table(
-            ["n", "will mode", "peak msgs/node", "total msgs"], rows
-        ),
-    )
+    emit(capsys, report.format_table(HEADERS, rows))

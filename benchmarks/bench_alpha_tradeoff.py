@@ -8,10 +8,11 @@ from repro.extensions import AlphaForgivingTree, tradeoff_point
 from repro.graphs import generators, metrics
 from repro.harness import bounds, report
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import dump_bench, emit, table
 
 DELTA = 512
 ALPHAS = (3, 4, 5, 7, 9)
+HEADERS = ["α", "b", "measured ∆deg", "β measured", "β floor (Thm2)", "β promise (§4.2)"]
 
 
 def run_sweep():
@@ -42,11 +43,6 @@ def test_alpha_tradeoff(benchmark, capsys):
     for r in rows:
         assert r[2] <= r[0]  # degree increase within α
         assert float(r[3]) <= float(r[5]) + 1  # within the §4.2 promise
+    dump_bench("alpha_tradeoff", {"tradeoff": table(HEADERS, rows)}, delta=DELTA)
     emit(capsys, report.banner(f"EXP-TRADEOFF  §4.2 on star-{DELTA}"))
-    emit(
-        capsys,
-        report.format_table(
-            ["α", "b", "measured ∆deg", "β measured", "β floor (Thm2)", "β promise (§4.2)"],
-            rows,
-        ),
-    )
+    emit(capsys, report.format_table(HEADERS, rows))

@@ -17,7 +17,7 @@ from repro.baselines import (
 from repro.graphs import generators, metrics
 from repro.harness import duel, report
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import dump_bench, emit, table
 
 
 def run_degree_duel():
@@ -61,6 +61,16 @@ def test_baseline_failures(benchmark, capsys):
     diam_by_name = {r[0]: r for r in diam_rows}
     assert diam_by_name["line"][1] > diam_by_name["forgiving-tree"][1]
 
+    dump_bench(
+        "baselines",
+        {
+            "degree_duel": table(["healer", "peak_ddeg", "peak_diameter"], deg_rows),
+            "diameter_duel": table(
+                ["healer", "peak_diameter", "stretch", "peak_ddeg"], diam_rows
+            ),
+        },
+        d0=d0,
+    )
     emit(capsys, report.banner("EXP-BASE-DEG  surrogate-killer on star-120"))
     emit(
         capsys,

@@ -13,7 +13,7 @@ from repro import ForgivingTree
 from repro.harness import report
 from tests.conftest import FIG5, FIGURE5_TREE
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import dump_bench, emit, table
 
 
 def replay():
@@ -40,3 +40,12 @@ def test_figure5_replay(benchmark, capsys):
         )
     turn1 = dict((v, e) for v, e, _ in snapshots)["v"]
     assert ("b", "c") in turn1 and ("c", "d") in turn1 and ("b", "d") in turn1
+    dump_bench(
+        "figures",
+        {
+            "figure5": table(
+                ["victim", "edges", "max_ddeg"],
+                [[v, [f"{a}-{b}" for a, b in e], d] for v, e, d in snapshots],
+            )
+        },
+    )

@@ -5,12 +5,13 @@ as n grows (the engine's per-deletion work is O(deg + log ∆)).
 """
 
 import random
+import time
 
 from repro import ForgivingTree
 from repro.graphs import generators
 from repro.harness import report
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import dump_bench, emit, table
 
 
 def campaign(n):
@@ -37,6 +38,13 @@ def test_heal_throughput_medium(benchmark):
 
 def test_heal_throughput_large(benchmark, capsys):
     benchmark(campaign(2000))
+    rows = []
+    for n in (200, 800, 2000):
+        t0 = time.perf_counter()
+        campaign(n)()
+        dt = time.perf_counter() - t0
+        rows.append([n, f"{1e6 * dt / n:.1f}"])
+    dump_bench("scaling", {"heal_throughput": table(["n", "us_per_delete"], rows)})
     emit(
         capsys,
         report.banner("EXP-SCALE  compare ops/sec across sizes above")

@@ -11,7 +11,7 @@ from repro.distributed.setup import distributed_bfs_setup
 from repro.graphs import generators, metrics
 from repro.harness import bounds, report
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import dump_bench, emit, table
 
 CASES = [
     ("gnp", lambda n: generators.random_connected_gnp(n, min(1.0, 8 / n), seed=n)),
@@ -54,6 +54,17 @@ def test_setup_phase_costs(benchmark, capsys):
     dist = DistributedForgivingTree(tree)
     per_edge = dist.setup_stats.total_messages / (len(tree) - 1)
 
+    dump_bench(
+        "setup_phase",
+        {
+            "bfs_setup": table(
+                ["graph", "n", "diam", "latency", "max_msg_edge",
+                 "mean_msg_edge", "log_n_ref"],
+                rows,
+            )
+        },
+        will_messages_per_edge=round(per_edge, 2),
+    )
     emit(capsys, report.banner("EXP-SETUP  BFS setup: latency & messages"))
     emit(
         capsys,

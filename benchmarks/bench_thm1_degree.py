@@ -15,7 +15,7 @@ from repro.baselines import ForgivingTreeHealer, SurrogateHealer
 from repro.graphs import generators
 from repro.harness import bounds, report, run_campaign
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import dump_bench, emit, table
 
 FAMILIES = ["star", "path", "random", "binary", "broom", "caterpillar"]
 ADVERSARIES = {
@@ -58,6 +58,13 @@ def test_thm1_degree_bound(benchmark, capsys):
         SurrogateKillerAdversary(),
         rounds=N // 2,
         measure_diameter=False,
+    )
+    dump_bench(
+        "thm1_degree",
+        {"sweep": table(
+            ["family", "adversary", "n", "peak_ddeg", "bound", "verdict"], rows
+        )},
+        surrogate_peak_ddeg=surrogate.peak_degree_increase,
     )
     emit(capsys, report.banner("EXP-T1-DEG  Theorem 1.1: max degree increase <= 3"))
     emit(

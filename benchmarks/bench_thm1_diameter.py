@@ -12,7 +12,7 @@ from repro.baselines import ForgivingTreeHealer
 from repro.graphs import generators, metrics
 from repro.harness import bounds, report, run_campaign
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import dump_bench, emit, table
 
 FAMILIES = ["star", "random", "broom", "caterpillar", "spider", "binary"]
 N = 100
@@ -49,6 +49,13 @@ def run_sweep():
 def test_thm1_diameter_bound(benchmark, capsys):
     rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     assert all(r[7] == "OK" for r in rows)
+    dump_bench(
+        "thm1_diameter",
+        {"sweep": table(
+            ["family", "n", "D0", "delta", "peak_D", "stretch", "bound", "verdict"],
+            rows,
+        )},
+    )
     emit(capsys, report.banner("EXP-T1-DIAM  Theorem 1.2: diameter = O(D log ∆)"))
     emit(
         capsys,

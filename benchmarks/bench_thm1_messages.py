@@ -11,7 +11,7 @@ from repro.distributed import DistributedForgivingTree
 from repro.graphs import generators
 from repro.harness import report
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import dump_bench, emit, table
 
 SIZES = (8, 16, 24)  # the distributed runtime's validated envelope
 SEED = 3
@@ -47,6 +47,14 @@ def test_thm1_messages_and_latency(benchmark, capsys):
     # Flat in n: the largest network is within a constant of the smallest.
     assert peaks[-1] <= peaks[0] + 6
     assert max(latencies) <= 8
+    dump_bench(
+        "thm1_messages",
+        {"sweep": table(
+            ["n", "peak_msgs_node_round", "peak_sub_rounds", "setup_msgs",
+             "setup_msgs_tree_edge"],
+            rows,
+        )},
+    )
     emit(
         capsys,
         report.banner("EXP-T1-MSG  Theorem 1.3: O(1) msgs/node, O(1) latency"),

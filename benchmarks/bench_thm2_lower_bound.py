@@ -17,7 +17,7 @@ from repro.graphs import generators, metrics
 from repro.graphs.adjacency import is_connected
 from repro.harness import bounds, report
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import dump_bench, emit, table
 
 DELTAS = (8, 32, 128, 512)
 HEALERS = (ForgivingTreeHealer, SurrogateHealer, LineHealer, BinaryTreeHealer)
@@ -51,6 +51,12 @@ def run_sweep():
 def test_thm2_lower_bound(benchmark, capsys):
     rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     assert all(r[5] == "OK" for r in rows)
+    dump_bench(
+        "thm2_lower_bound",
+        {"sweep": table(
+            ["delta", "healer", "alpha", "beta", "beta_floor", "verdict"], rows
+        )},
+    )
     emit(capsys, report.banner("EXP-T2-LB  Theorem 2: α^(2β+1) ≥ ∆ on the star"))
     emit(
         capsys,

@@ -3,13 +3,45 @@
 Every benchmark regenerates one of the paper's results (see DESIGN.md §4
 and EXPERIMENTS.md) and prints the measured rows next to the theoretical
 bound, so ``pytest benchmarks/ --benchmark-only`` doubles as the
-reproduction log.
+reproduction log.  Every benchmark also dumps its tables to
+``benchmarks/out/BENCH_<name>.json`` (:func:`dump_bench`), so a CI run
+leaves a machine-readable artifact per experiment, quick or full.
 """
 
+import json
+import os
+
 import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+QUICK = os.environ.get("CHURN_BENCH_QUICK", "").strip().lower() not in (
+    "", "0", "false", "no",
+)
 
 
 def emit(capsys, text: str) -> None:
     """Print a report table outside pytest's capture."""
     with capsys.disabled():
         print(text)
+
+
+def dump_bench(name: str, tables, **extra) -> str:
+    """Write one benchmark's tables to ``benchmarks/out/BENCH_<name>.json``.
+
+    ``tables`` maps a table name to ``{"headers": [...], "rows": [...]}``
+    (or any JSON-able payload); ``extra`` adds top-level keys.  The
+    ``quick`` flag is always recorded so a baseline diff knows which
+    regime produced the artifact.  Returns the path written.
+    """
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump({"quick": QUICK, **extra, **tables}, fh, indent=2, default=str)
+        fh.write("\n")
+    return path
+
+
+def table(headers, rows) -> dict:
+    """The standard ``{"headers": ..., "rows": ...}`` table payload."""
+    return {"headers": list(headers), "rows": [list(r) for r in rows]}

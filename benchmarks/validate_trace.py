@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file (the CI smoke gate).
+
+Checks the structural schema Perfetto/chrome://tracing relies on: known
+phases, integer pid/tid, numeric non-negative timestamps, balanced and
+time-ordered B/E stacks per track (see
+:func:`repro.obs.validate_chrome_trace`).
+
+Run:  PYTHONPATH=src python benchmarks/validate_trace.py trace.json [...]
+
+Exits non-zero (with the structural violation) on the first bad file.
+"""
+
+import json
+import sys
+
+from repro.obs import validate_chrome_trace
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    for path in argv[1:]:
+        with open(path) as fh:
+            doc = json.load(fh)
+        try:
+            n = validate_chrome_trace(doc)
+        except ValueError as exc:
+            print(f"{path}: INVALID — {exc}")
+            return 1
+        print(f"{path}: OK ({n} trace events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

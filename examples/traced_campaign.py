@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Trace a concurrent-churn campaign and open it in Perfetto.
+
+Runs a seeded lease-mode churn campaign with the full observability
+stack attached (``obs="full"`` + export paths): causal heal spans over
+the async kernel's virtual time, per-layer sub-spans, message-delivery
+instants, lease grant/defer/resume/escalate marks on the control track,
+streaming metrics and a per-phase profile.
+
+Run:  PYTHONPATH=src python examples/traced_campaign.py
+
+Then load ``traced_campaign.json`` at https://ui.perfetto.dev (or
+chrome://tracing): one timeline row per heal, the control row on top.
+The same trace is byte-identical on every run — same seed, same bytes.
+"""
+
+from repro.adversaries import ScatterChurnAdversary
+from repro.baselines import ForgivingTreeHealer
+from repro.graphs import generators
+from repro.harness import run_churn_campaign
+from repro.obs import LogHistogram, ObsSpec
+from repro.simnet import TransportSpec
+
+SEED = 42
+N = 200
+EVENTS = 80
+TRACE_PATH = "traced_campaign.json"
+
+
+def main() -> None:
+    tree = generators.random_tree(N, seed=SEED)
+    healer = ForgivingTreeHealer({k: set(v) for k, v in tree.items()})
+    adversary = ScatterChurnAdversary(p_insert=0.3, seed=SEED)
+    result = run_churn_campaign(
+        healer,
+        adversary,
+        events=EVENTS,
+        seed=SEED,
+        transport=TransportSpec(
+            mode="async", overlap="lease", latency="heavy-tail", gap=0.1
+        ),
+        obs=ObsSpec(trace=True, profile=True, recorder=4096,
+                    trace_path=TRACE_PATH),
+    )
+
+    t, o = result.transport, result.obs
+    print(f"campaign: {t.events} events over {len(healer.alive)} survivors, "
+          f"peak {t.peak_in_flight_heals} heals in flight")
+    print(f"trace:    {o.trace_events} events -> {o.trace_path} "
+          f"(load it at https://ui.perfetto.dev)")
+
+    # The trace *is* the transport summary: rebuilding the latency
+    # histogram from the heal spans' close args reproduces the campaign
+    # percentiles bit for bit.  (Both sides are fed in sorted order —
+    # the streaming mean is order-sensitive at the last ulp, and the
+    # trace records heals in open order while the summary records them
+    # in quiesce order.)
+    spans = [
+        s for s in o.tracer.spans.values()
+        if s.cat == "heal" and not s.name.startswith("heal:round-")
+    ]
+    assert len(spans) == t.events
+    from_trace = LogHistogram.from_values(
+        sorted(s.args["heal_latency"] for s in spans)
+    ).summary()
+    assert from_trace == LogHistogram.from_values(
+        sorted(t.heal_latencies)
+    ).summary()
+    print(f"heal latency (from the trace, == campaign summary): "
+          f"p50 {from_trace['p50']:.2f}  p99 {from_trace['p99']:.2f}  "
+          f"max {from_trace['max']:.2f} virtual time units")
+
+    print("\nhottest phases (wall time):")
+    for phase, row in sorted(
+        o.profile.items(), key=lambda kv: -kv[1]["wall_s"]
+    )[:5]:
+        print(f"  {phase:<24} {row['calls']:>6} calls  "
+              f"{1e3 * row['wall_s']:8.2f} ms  {row['us_per_call']:7.1f} µs/call")
+
+    print("\nstreamed metrics (O(1) memory each):")
+    for name in ("kernel.heals", "kernel.delivered", "lease.grants",
+                 "lease.defers", "campaign.messages"):
+        if name in o.metrics:
+            print(f"  {name:<20} {o.metrics[name]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,12 @@ Public entry points
     multiple heals in flight at once, checkpointed by quiesce barriers
     and cross-validated against the sequential engines (see
     docs/ASYNC.md).
+:mod:`repro.obs`
+    The observability substrate: causal tracing over the async kernel's
+    virtual time (Perfetto-loadable Chrome-trace export), streaming
+    O(1)-memory metrics, per-phase profilers and a crash flight
+    recorder, attached to any campaign via ``obs=`` (see
+    docs/OBSERVABILITY.md).
 """
 
 from .core import (

@@ -76,6 +76,13 @@ class Network:
     def __len__(self) -> int:
         return len(self.nodes)
 
+    # -- observability ----------------------------------------------------
+    def trace_instant(self, name: str, **args) -> None:
+        """Driver-level trace mark.  The synchronous network records no
+        trace (there is no virtual clock to stamp it with); the async
+        kernel overrides this to feed the attached tracer, so the
+        protocol drivers can emit marks transport-agnostically."""
+
     # -- messaging --------------------------------------------------------
     def send(self, message: Message) -> None:
         """Queue a message for the next sub-round."""

@@ -138,7 +138,9 @@ class DistributedForgivingTree:
         self.check_delete(nid)
         self.rounds += 1
         victim = self.network.remove(nid)
-        for neighbor in sorted(victim.neighbor_claims()):
+        claims = sorted(victim.neighbor_claims())
+        self.network.trace_instant("ft:delete", victim=nid, fanout=len(claims))
+        for neighbor in claims:
             self.network.send(
                 Deleted(sender=nid, recipient=neighbor, victim=nid)
             )
@@ -200,6 +202,7 @@ class DistributedForgivingTree:
         async transport an exception after ``begin_round`` would leave
         the injection context dangling."""
         self.rounds += 1
+        self.network.trace_instant("ft:insert-wave", joiners=len(wave))
         groups: Dict[int, List[int]] = {}
         for nid, attach_to in wave:
             groups.setdefault(attach_to, []).append(nid)

@@ -389,6 +389,7 @@ class DistributedForgivingGraph:
         self.rounds += 1
         victim = self.network.remove(nid)
         claims = sorted(victim.neighbor_claims())
+        self.network.trace_instant("fg:delete", victim=nid, fanout=len(claims))
         if claims:
             coordinator = claims[0]
             for neighbor in claims:
@@ -451,6 +452,7 @@ class DistributedForgivingGraph:
         async transport an exception after ``begin_round`` would leave
         the injection context dangling."""
         self.rounds += 1
+        self.network.trace_instant("fg:insert-wave", joiners=len(wave))
         for nid, attach_to in wave:
             node = FGNode(nid)
             node.direct = {attach_to}

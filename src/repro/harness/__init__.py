@@ -1,5 +1,6 @@
 """Experiment harness: campaigns, sweeps, bounds and report tables."""
 
+from ..obs.spec import OBS_MODES, ObsSpec, ObsSummary
 from . import bounds, report
 from .experiment import (
     METRICS_MODES,
@@ -14,8 +15,11 @@ from .experiment import (
 
 __all__ = [
     "METRICS_MODES",
+    "OBS_MODES",
     "TRANSPORT_MODES",
     "CampaignResult",
+    "ObsSpec",
+    "ObsSummary",
     "RoundRecord",
     "bounds",
     "churn_duel",

@@ -11,6 +11,7 @@ Campaigns power every benchmark table.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -23,6 +24,7 @@ from ..core.events import HealReport
 from ..graphs.adjacency import Graph, is_connected, max_degree
 from ..graphs.incremental import DynamicTreeMetrics
 from ..graphs.metrics import diameter_double_sweep, diameter_exact
+from ..obs.spec import ObsInput, ObsState, ObsSummary, resolve_obs
 from ..simnet.transport import (
     TRANSPORT_MODES,
     TransportInput,
@@ -151,6 +153,9 @@ class CampaignResult:
     rounds: List[RoundRecord] = field(default_factory=list)
     #: What the transport mirror observed (``transport=`` campaigns only).
     transport: Optional[TransportSummary] = None
+    #: What the observability stack saw (``obs=`` campaigns only):
+    #: metrics snapshot, profile summary, trace export paths/handle.
+    obs: Optional[ObsSummary] = None
 
     @property
     def peak_degree_increase(self) -> int:
@@ -261,13 +266,57 @@ def _record_round(
 
 
 def _make_mirror(
-    healer: Healer, transport: TransportInput, seed: int
+    healer: Healer,
+    transport: TransportInput,
+    seed: int,
+    obs_state: Optional[ObsState] = None,
 ) -> Optional[TransportMirror]:
     """Resolve the ``transport=`` knob into a live mirror (or None)."""
     spec = resolve_transport(transport, seed=seed)
     if spec is None:
         return None
-    return TransportMirror(healer, spec)
+    return TransportMirror(healer, spec, obs=obs_state)
+
+
+def _make_obs(obs: ObsInput, transport: TransportInput) -> Optional[ObsState]:
+    """Resolve the ``obs=`` knob into live instruments (or None).
+
+    Tracing rides the async kernel's virtual clock, so ``obs="trace"``
+    (or a spec with ``trace=True``) requires an async transport mirror —
+    without one there is nothing to trace and the knob raises rather
+    than silently producing an empty file.
+    """
+    spec = resolve_obs(obs)
+    if spec is None:
+        return None
+    if spec.trace:
+        tspec = resolve_transport(transport)
+        if tspec is None or tspec.mode != "async":
+            raise ValueError(
+                "obs tracing needs an async transport "
+                "(transport='async' or 'lease')"
+            )
+    return ObsState(spec)
+
+
+def _oracle_step(obs_state: Optional[ObsState], phase: str, fn, *args):
+    """Run one oracle operation, timed when profiling is on."""
+    if obs_state is None or obs_state.profiler is None:
+        return fn(*args)
+    t0 = time.perf_counter_ns()
+    out = fn(*args)
+    obs_state.profiler.add(phase, time.perf_counter_ns() - t0)
+    return out
+
+
+def _stream_round(registry, record: RoundRecord) -> None:
+    """Fold one round's record into the streaming metrics (O(1) memory)."""
+    registry.counter("campaign.rounds").inc()
+    registry.counter(f"campaign.{record.event}s").inc()
+    registry.gauge("campaign.alive").set(record.alive)
+    registry.histogram("campaign.messages").observe(record.total_messages)
+    if record.diameter is not None:
+        registry.gauge("campaign.diameter").set(record.diameter)
 
 
 def run_campaign(
@@ -281,6 +330,7 @@ def run_campaign(
     metrics: Optional[str] = None,
     seed: int = 0,
     transport: TransportInput = None,
+    obs: ObsInput = None,
 ) -> CampaignResult:
     """Play the Delete and Repair game.
 
@@ -319,6 +369,13 @@ def run_campaign(
         (:mod:`repro.regions`) instead of serializing them behind a
         global barrier; lease waits and escalations are reported in the
         summary.  Default: off.
+    obs:
+        One of :data:`~repro.obs.OBS_MODES` or an
+        :class:`~repro.obs.ObsSpec` — attaches the observability stack
+        (streaming metrics, causal tracing over the async kernel,
+        per-phase profiling, a flight recorder) and lands its summary
+        in :attr:`CampaignResult.obs`.  ``"trace"``/``"full"`` require
+        an async ``transport``.  Default: off (every hook is a no-op).
     """
     initial = healer.graph()
     n0 = len(initial)
@@ -333,7 +390,8 @@ def run_campaign(
         initial_diameter=d0,
         initial_max_degree=max_degree(initial),
     )
-    mirror = _make_mirror(healer, transport, seed)
+    obs_state = _make_obs(obs, transport)
+    mirror = _make_mirror(healer, transport, seed, obs_state)
     adversary.reset()
     budget = rounds if rounds is not None else n0 - 1
     for t in range(budget):
@@ -341,17 +399,21 @@ def run_campaign(
             break
         try:
             victim = adversary.choose(healer)
-            report = healer.delete(victim)
+            report = _oracle_step(obs_state, "oracle:delete", healer.delete, victim)
         except SimulationOverError:
             break
         if mirror is not None:
             mirror.apply(report)
         record = _record_round(t, report, healer, meter, d0)
         result.rounds.append(record)
+        if obs_state is not None and obs_state.metrics is not None:
+            _stream_round(obs_state.metrics, record)
         if on_round is not None:
             on_round(record, healer)
     if mirror is not None:
         result.transport = mirror.finish()
+    if obs_state is not None:
+        result.obs = obs_state.finish()
     return result
 
 
@@ -392,6 +454,7 @@ def run_churn_campaign(
     metrics: Optional[str] = None,
     seed: int = 0,
     transport: TransportInput = None,
+    obs: ObsInput = None,
 ) -> CampaignResult:
     """Play the churn game: a mixed insert/delete stream against one healer.
 
@@ -417,7 +480,8 @@ def run_churn_campaign(
     heals over the discrete-event simnet, ``"lease"`` additionally
     interleaving *overlapping* heals via region leases and coordinator
     handoff), cross-validating the healed image at every quiesce
-    barrier — see :func:`run_campaign`.
+    barrier — see :func:`run_campaign`.  ``obs`` attaches the
+    observability stack (metrics / trace / profile / full) the same way.
     """
     initial = healer.graph()
     n0 = len(initial)
@@ -434,7 +498,8 @@ def run_churn_campaign(
         initial_diameter=d0,
         initial_max_degree=max_degree(initial),
     )
-    mirror = _make_mirror(healer, transport, seed)
+    obs_state = _make_obs(obs, transport)
+    mirror = _make_mirror(healer, transport, seed, obs_state)
     adversary.reset()
     for t in range(events):
         if not healer.alive:
@@ -442,22 +507,39 @@ def run_churn_campaign(
         try:
             event = adversary.next_event(healer)
             if isinstance(event, Insert):
-                report = healer.insert(event.nid, event.attach_to)
+                report = _oracle_step(
+                    obs_state,
+                    "oracle:insert",
+                    healer.insert,
+                    event.nid,
+                    event.attach_to,
+                )
             elif isinstance(event, InsertWave):
-                report = healer.insert_batch(event.joiners)
+                report = _oracle_step(
+                    obs_state,
+                    "oracle:insert",
+                    healer.insert_batch,
+                    event.joiners,
+                )
             else:
                 assert isinstance(event, Delete)
-                report = healer.delete(event.nid)
+                report = _oracle_step(
+                    obs_state, "oracle:delete", healer.delete, event.nid
+                )
         except SimulationOverError:
             break
         if mirror is not None:
             mirror.apply(report)
         record = _record_round(t, report, healer, meter, d0)
         result.rounds.append(record)
+        if obs_state is not None and obs_state.metrics is not None:
+            _stream_round(obs_state.metrics, record)
         if on_round is not None:
             on_round(record, healer)
     if mirror is not None:
         result.transport = mirror.finish()
+    if obs_state is not None:
+        result.obs = obs_state.finish()
     return result
 
 

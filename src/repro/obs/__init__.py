@@ -1,0 +1,63 @@
+"""obs — the observability substrate: tracing, metrics, profiling,
+flight recording.
+
+One package every layer feeds instead of growing its own telemetry:
+
+* :mod:`repro.obs.trace` — causal spans over virtual time (heal ->
+  layer -> per-message delivery; lease transitions as span events),
+  exported as deterministic Chrome-trace JSON (Perfetto-loadable) or
+  JSONL.
+* :mod:`repro.obs.histogram` / :mod:`repro.obs.metrics` — streaming
+  O(1)-memory counters, gauges, and log-bucketed mergeable histograms
+  (the one percentile implementation in the repo).
+* :mod:`repro.obs.profile` — per-phase wall/virtual-time timers on the
+  hot paths.
+* :mod:`repro.obs.recorder` — a ring buffer of recent structured events,
+  dumped to JSONL with an event-id range on any invariant failure.
+
+Wired into campaigns through the ``obs=`` knob on
+:func:`~repro.harness.run_campaign` / ``run_churn_campaign`` — see
+``docs/OBSERVABILITY.md``.
+"""
+
+from .histogram import DEFAULT_GROWTH, LogHistogram
+from .metrics import Counter, Gauge, MetricsRegistry
+from .profile import PhaseProfiler
+from .recorder import FlightRecorder
+from .spec import OBS_MODES, ObsInput, ObsSpec, ObsState, ObsSummary, resolve_obs
+from .trace import (
+    CONTROL_TRACK,
+    NO_TRACE,
+    PID_CONTROL,
+    PID_PROTOCOL,
+    NullTracer,
+    Span,
+    SpanError,
+    Tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "CONTROL_TRACK",
+    "DEFAULT_GROWTH",
+    "NO_TRACE",
+    "OBS_MODES",
+    "PID_CONTROL",
+    "PID_PROTOCOL",
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "LogHistogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "ObsInput",
+    "ObsSpec",
+    "ObsState",
+    "ObsSummary",
+    "PhaseProfiler",
+    "Span",
+    "SpanError",
+    "Tracer",
+    "resolve_obs",
+    "validate_chrome_trace",
+]

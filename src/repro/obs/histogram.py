@@ -1,0 +1,173 @@
+"""Log-bucketed streaming histograms: O(1)-memory quantiles.
+
+Five PRs grew three separate percentile implementations (the transport
+summary, the async bench, the skype example all sorted full value lists).
+:class:`LogHistogram` is the one shared primitive that replaces them:
+
+* **Streaming** — :meth:`observe` is O(1); memory is bounded by the
+  number of *occupied buckets* (at the default growth, ~80 buckets per
+  decade of value range), never by the number of observations, so a
+  billion-event campaign keeps O(1) metric memory.
+* **Log-bucketed** — bucket boundaries grow geometrically by ``growth``
+  (default ``2**(1/8)``, ~9% relative width); each bucket tracks its
+  count *and* sum, so the reported representative is the bucket's own
+  mean — exact whenever observations land in distinct buckets, within
+  the bucket's relative width otherwise.
+* **Mergeable** — :meth:`merge` adds two histograms bucket-for-bucket
+  (same growth required), the shard-and-combine primitive long campaigns
+  and parallel sweeps need.
+* **Deterministic** — quantiles use the same nearest-rank convention the
+  old hand-rolled code used (``rank = round(q * (count - 1))``), so the
+  transport summary and the benches report *identical* quantiles from
+  one implementation (pinned by ``tests/test_obs.py``).
+
+``min``/``max``/``mean`` are tracked exactly; only interior quantiles
+are bucket-approximate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+#: Default geometric bucket growth: 8 buckets per octave, ~9% relative
+#: bucket width — the usual HDR-style accuracy/memory trade.
+DEFAULT_GROWTH = 2.0 ** 0.125
+
+#: The percentile keys every summary in the repo reports.
+SUMMARY_QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+
+class LogHistogram:
+    """Fixed-memory log-bucketed histogram (see module docstring)."""
+
+    __slots__ = ("growth", "_log_growth", "count", "total", "min", "max",
+                 "_counts", "_sums", "_zero_count", "_zero_sum")
+
+    def __init__(self, growth: float = DEFAULT_GROWTH):
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        # bucket index -> (count, sum); values <= 0 live in the zero bucket.
+        self._counts: Dict[int, int] = {}
+        self._sums: Dict[int, float] = {}
+        self._zero_count = 0
+        self._zero_sum = 0.0
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[float], growth: float = DEFAULT_GROWTH
+    ) -> "LogHistogram":
+        h = cls(growth=growth)
+        for v in values:
+            h.observe(v)
+        return h
+
+    # -- recording ---------------------------------------------------------
+    def observe(self, value: float, n: int = 1) -> None:
+        """Record ``value`` (``n`` times); O(1) time and memory."""
+        if n <= 0:
+            return
+        value = float(value)
+        self.count += n
+        self.total += value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self._zero_count += n
+            self._zero_sum += value * n
+            return
+        idx = int(math.floor(math.log(value) / self._log_growth))
+        self._counts[idx] = self._counts.get(idx, 0) + n
+        self._sums[idx] = self._sums.get(idx, 0.0) + value * n
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other`` into this histogram (same growth required)."""
+        if other.growth != self.growth:
+            raise ValueError(
+                f"cannot merge histograms with growths "
+                f"{self.growth} and {other.growth}"
+            )
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        self._zero_count += other._zero_count
+        self._zero_sum += other._zero_sum
+        for idx, c in other._counts.items():
+            self._counts[idx] = self._counts.get(idx, 0) + c
+            self._sums[idx] = self._sums.get(idx, 0.0) + other._sums[idx]
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def n_buckets(self) -> int:
+        """Occupied buckets — the histogram's actual memory footprint."""
+        return len(self._counts) + (1 if self._zero_count else 0)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile (the repo's historical convention).
+
+        ``rank = round(q * (count - 1))`` over the bucket counts in value
+        order; the returned value is the holding bucket's mean, clamped
+        into the exact ``[min, max]``.  Empty histogram -> 0.0.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(0, min(self.count - 1, round(q * (self.count - 1))))
+        value: Optional[float] = None
+        cum = self._zero_count
+        if rank < cum:
+            value = self._zero_sum / self._zero_count
+        else:
+            for idx in sorted(self._counts):
+                cum += self._counts[idx]
+                if rank < cum:
+                    value = self._sums[idx] / self._counts[idx]
+                    break
+        assert value is not None  # cum reaches self.count
+        # Bucket means never leave the bucket, but float summation can
+        # brush the exact extremes; clamp so p0/p100 equal min/max.
+        return max(self.min or 0.0, min(self.max or 0.0, value))
+
+    def summary(self) -> Dict[str, float]:
+        """The repo-standard percentile block (p50/p90/p99/max/mean)."""
+        out = {name: self.quantile(q) for name, q in SUMMARY_QUANTILES}
+        out["max"] = self.max if self.max is not None else 0.0
+        out["mean"] = self.mean
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot (buckets in value order)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            **{k: v for k, v in self.summary().items() if k.startswith("p")},
+            "buckets": [
+                [idx, self._counts[idx]] for idx in sorted(self._counts)
+            ]
+            + ([["zero", self._zero_count]] if self._zero_count else []),
+        }
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LogHistogram(count={self.count}, mean={self.mean:.3g}, "
+            f"buckets={self.n_buckets})"
+        )

@@ -1,0 +1,127 @@
+"""Streaming metrics registry: counters, gauges, histograms.
+
+One named bag of O(1)-memory instruments shared by the harness, the
+transport mirror, the simnet kernel, and the lease layer:
+
+* :class:`Counter` — monotone event tallies (events mirrored, barriers,
+  lease grants/escalations, messages delivered).
+* :class:`Gauge` — last-value-wins instantaneous readings with the peak
+  tracked (in-flight heals, queue depth, current stretch).
+* :class:`~repro.obs.histogram.LogHistogram` — streaming distributions
+  (heal latency, lease waits, per-round message counts).
+
+Every instrument is O(1) per update and bounded memory, so a
+billion-event campaign's metrics cost does not grow with the event
+count.  :meth:`MetricsRegistry.snapshot` renders the whole registry as a
+deterministic JSON-able dict (names sorted); :meth:`MetricsRegistry.merge`
+folds a shard's registry into another (the parallel-sweep primitive).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .histogram import DEFAULT_GROWTH, LogHistogram
+
+
+class Counter:
+    """A monotone tally."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """Last-written value, with the peak remembered."""
+
+    __slots__ = ("value", "peak")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if self.value > self.peak:
+            self.peak = self.value
+
+
+class MetricsRegistry:
+    """Create-or-get named instruments (see module docstring)."""
+
+    def __init__(self, growth: float = DEFAULT_GROWTH):
+        self.growth = growth
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, LogHistogram] = {}
+
+    # -- instruments -------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_fresh(name, self._counters)
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_fresh(name, self._gauges)
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> LogHistogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_fresh(name, self._histograms)
+            h = self._histograms[name] = LogHistogram(growth=self.growth)
+        return h
+
+    def _check_fresh(self, name: str, own: dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not own and name in kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as another type"
+                )
+
+    # -- output ------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic JSON-able view of every instrument."""
+        out: Dict[str, object] = {}
+        for name in sorted(self._counters):
+            out[name] = self._counters[name].value
+        for name in sorted(self._gauges):
+            g = self._gauges[name]
+            out[name] = {"value": g.value, "peak": g.peak}
+        for name in sorted(self._histograms):
+            out[name] = self._histograms[name].to_dict()
+        return out
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in, instrument by instrument."""
+        for name, c in other._counters.items():
+            self.counter(name).inc(c.value)
+        for name, g in other._gauges.items():
+            mine = self.gauge(name)
+            mine.set(g.value)
+            mine.peak = max(mine.peak, g.peak)
+        for name, h in other._histograms.items():
+            self.histogram(name).merge(h)
+
+    def get(self, name: str) -> Optional[object]:
+        """Look up an instrument without creating it."""
+        return (
+            self._counters.get(name)
+            or self._gauges.get(name)
+            or self._histograms.get(name)
+        )
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -1,0 +1,86 @@
+"""Per-phase profiling hooks for the hot paths.
+
+A :class:`PhaseProfiler` accumulates wall-clock nanoseconds (and,
+where the caller has one, virtual-time durations) per named phase:
+message-handler dispatch by message type (the portion walks and RT
+rebuilds run inside those handlers), lease grant cascades, footprint
+extraction, barrier drains, the sequential oracle's heals.  Turned on
+via the harness ``obs=`` knob (``ObsSpec(profile=True)``); when off the
+components hold ``profiler=None`` and the hot paths skip the timing
+calls behind a single ``is None`` test, so disabled overhead is one
+pointer comparison.
+
+Wall timings are *reported only in the profile summary* — never in the
+exported trace, which must stay a deterministic function of the seed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+
+class PhaseProfiler:
+    """Accumulates ``phase -> (calls, wall ns, virtual time)``."""
+
+    __slots__ = ("_calls", "_wall_ns", "_virtual")
+
+    def __init__(self) -> None:
+        self._calls: Dict[str, int] = {}
+        self._wall_ns: Dict[str, int] = {}
+        self._virtual: Dict[str, float] = {}
+
+    # -- recording ---------------------------------------------------------
+    def add(self, phase: str, wall_ns: int) -> None:
+        """Credit one timed call to ``phase`` (the inlined hot-path form:
+        callers bracket the work with ``perf_counter_ns`` themselves)."""
+        self._calls[phase] = self._calls.get(phase, 0) + 1
+        self._wall_ns[phase] = self._wall_ns.get(phase, 0) + wall_ns
+
+    def add_virtual(self, phase: str, dt: float) -> None:
+        """Credit virtual-time duration to ``phase`` (kernel clock units)."""
+        self._virtual[phase] = self._virtual.get(phase, 0.0) + dt
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Coarse-phase timing for non-hot-path callers."""
+        t0 = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter_ns() - t0)
+
+    # -- output ------------------------------------------------------------
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """``{phase: {calls, wall_s, us_per_call[, virtual]}}``, every
+        phase that recorded anything, keys sorted for stable output."""
+        phases = sorted(
+            set(self._calls) | set(self._virtual)
+        )
+        out: Dict[str, Dict[str, float]] = {}
+        for p in phases:
+            calls = self._calls.get(p, 0)
+            ns = self._wall_ns.get(p, 0)
+            entry: Dict[str, float] = {
+                "calls": calls,
+                "wall_s": ns / 1e9,
+                "us_per_call": (ns / calls / 1e3) if calls else 0.0,
+            }
+            if p in self._virtual:
+                entry["virtual"] = self._virtual[p]
+            out[p] = entry
+        return out
+
+    def top(self, k: int = 10) -> List[str]:
+        """The ``k`` costliest phases by wall time, formatted."""
+        ranked = sorted(
+            self._wall_ns.items(), key=lambda kv: kv[1], reverse=True
+        )[:k]
+        return [
+            f"{p}: {ns / 1e6:.2f}ms / {self._calls.get(p, 0)} calls"
+            for p, ns in ranked
+        ]
+
+    def __len__(self) -> int:
+        return len(set(self._calls) | set(self._virtual))

@@ -1,0 +1,102 @@
+"""The flight recorder: a ring buffer of recent structured events.
+
+Long campaigns cannot afford to journal every event — but when an
+invariant or cross-validation fails after hours of churn, the question
+is always "what just happened?".  The :class:`FlightRecorder` keeps the
+last ``capacity`` structured events in O(capacity) memory; on failure
+the transport mirror dumps the ring to JSONL and appends the covered
+**event-id range** to the exception, so a failure in event 748 213 of a
+soak bisects to a replayable window instead of a shrug.
+
+Event ids are assigned monotonically at :meth:`record` time and never
+reused; the dump names ``first_id..last_id`` plus how many earlier
+events the ring already evicted.  Records are JSON-able by construction
+(the caller passes only ints/floats/strings/lists).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+
+class FlightRecorder:
+    """Fixed-capacity ring of ``(event_id, kind, clock, payload)`` rows."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: Deque[Tuple[int, str, float, dict]] = deque(
+            maxlen=capacity
+        )
+        self.recorded = 0  # total ever recorded (>= len(ring))
+
+    def record(self, kind: str, clock: float = 0.0, **payload) -> int:
+        """Append one event; returns its id.  O(1), bounded memory."""
+        eid = self.recorded
+        self.recorded += 1
+        self._ring.append((eid, kind, clock, payload))
+        return eid
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def id_range(self) -> Optional[Tuple[int, int]]:
+        """``(first, last)`` event ids currently held, or None if empty."""
+        if not self._ring:
+            return None
+        return (self._ring[0][0], self._ring[-1][0])
+
+    def dump(self, path: Optional[str] = None, label: str = "flight") -> str:
+        """Write the ring to JSONL (one event per line, a header first).
+
+        Default path: ``<tempdir>/<label>-<first>-<last>.jsonl``.
+        Returns the path written.
+        """
+        rng = self.id_range
+        first, last = rng if rng is not None else (0, -1)
+        if path is None:
+            path = os.path.join(
+                tempfile.gettempdir(), f"{label}-{first}-{last}.jsonl"
+            )
+        with open(path, "w") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "recorder": label,
+                        "capacity": self.capacity,
+                        "recorded_total": self.recorded,
+                        "evicted": self.recorded - len(self._ring),
+                        "first_id": first,
+                        "last_id": last,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            for eid, kind, clock, payload in self._ring:
+                fh.write(
+                    json.dumps(
+                        {"id": eid, "kind": kind, "clock": clock, **payload},
+                        sort_keys=True,
+                        default=str,
+                    )
+                    + "\n"
+                )
+        return path
+
+    def bisection_note(self, path: str) -> str:
+        """The one-line pointer appended to a failure's message."""
+        rng = self.id_range
+        if rng is None:
+            return f" [flight recorder: empty; dumped to {path}]"
+        return (
+            f" [flight recorder: events {rng[0]}..{rng[1]} "
+            f"({len(self._ring)} of {self.recorded} recorded) "
+            f"dumped to {path}]"
+        )

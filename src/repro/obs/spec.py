@@ -1,0 +1,143 @@
+"""The ``obs=`` harness knob: spec, live state, and campaign summary.
+
+Mirrors the ``metrics=``/``transport=`` pattern: campaigns take
+``obs=None`` (off, the default — every hook collapses to a no-op),
+a mode string, or an :class:`ObsSpec`:
+
+* ``"metrics"`` — the streaming :class:`~repro.obs.metrics.MetricsRegistry`
+  only (counters/gauges/histograms, O(1) memory).
+* ``"trace"`` — metrics + the causal :class:`~repro.obs.trace.Tracer`
+  (requires an async transport: the spans are the kernel's heals).
+* ``"profile"`` — metrics + per-phase wall/virtual timers.
+* ``"full"`` — everything, plus a 4096-event flight recorder.
+
+The resolved spec becomes an :class:`ObsState` (the live instruments the
+mirror and kernel write into) and finally an :class:`ObsSummary` on
+:attr:`CampaignResult.obs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from .metrics import MetricsRegistry
+from .profile import PhaseProfiler
+from .recorder import FlightRecorder
+from .trace import NO_TRACE, Tracer
+
+#: ``obs=`` mode strings accepted by the campaign runners.
+OBS_MODES = ("none", "metrics", "trace", "profile", "full")
+
+
+@dataclass
+class ObsSpec:
+    """Configuration of a campaign's observability stack.
+
+    ``trace_path``/``trace_jsonl_path`` export the trace at campaign end
+    (Chrome trace-event JSON / JSONL); without a path the tracer stays
+    in memory on :attr:`ObsSummary.tracer` for programmatic export.
+    ``recorder`` is the flight-recorder ring capacity (0 = off);
+    ``recorder_dir`` overrides where failure dumps land (default: the
+    system temp dir).
+    """
+
+    trace: bool = False
+    trace_path: Optional[str] = None
+    trace_jsonl_path: Optional[str] = None
+    metrics: bool = True
+    profile: bool = False
+    recorder: int = 0
+    recorder_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.recorder < 0:
+            raise ValueError("recorder capacity must be >= 0")
+        if (self.trace_path or self.trace_jsonl_path) and not self.trace:
+            raise ValueError("trace_path given but trace=False")
+
+
+ObsInput = Union[None, str, ObsSpec]
+
+
+def resolve_obs(obs: ObsInput) -> Optional[ObsSpec]:
+    """Normalize the ``obs=`` knob into a spec (or None = off)."""
+    if obs is None or obs == "none":
+        return None
+    if isinstance(obs, ObsSpec):
+        return obs
+    if obs == "metrics":
+        return ObsSpec()
+    if obs == "trace":
+        return ObsSpec(trace=True)
+    if obs == "profile":
+        return ObsSpec(profile=True)
+    if obs == "full":
+        return ObsSpec(trace=True, profile=True, recorder=4096)
+    raise ValueError(f"unknown obs {obs!r} (one of {OBS_MODES} or an ObsSpec)")
+
+
+class ObsState:
+    """The live instruments a campaign threads through its components."""
+
+    def __init__(self, spec: ObsSpec):
+        self.spec = spec
+        self.tracer: Union[Tracer, "NO_TRACE.__class__"] = (
+            Tracer() if spec.trace else NO_TRACE
+        )
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if spec.metrics else None
+        )
+        self.profiler: Optional[PhaseProfiler] = (
+            PhaseProfiler() if spec.profile else None
+        )
+        self.recorder: Optional[FlightRecorder] = (
+            FlightRecorder(spec.recorder) if spec.recorder else None
+        )
+
+    def finish(self) -> "ObsSummary":
+        """Close out the campaign: validate spans, export, summarize."""
+        trace_path = None
+        jsonl_path = None
+        tracer: Optional[Tracer] = None
+        trace_events = 0
+        if self.spec.trace:
+            assert isinstance(self.tracer, Tracer)
+            tracer = self.tracer
+            tracer.check_closed()
+            trace_events = tracer.n_records
+            if self.spec.trace_path:
+                tracer.export_chrome(self.spec.trace_path)
+                trace_path = self.spec.trace_path
+            if self.spec.trace_jsonl_path:
+                tracer.export_jsonl(self.spec.trace_jsonl_path)
+                jsonl_path = self.spec.trace_jsonl_path
+        return ObsSummary(
+            spec=self.spec,
+            metrics=self.metrics.snapshot() if self.metrics else {},
+            profile=self.profiler.summary() if self.profiler else {},
+            trace_events=trace_events,
+            trace_path=trace_path,
+            trace_jsonl_path=jsonl_path,
+            recorder_events=self.recorder.recorded if self.recorder else 0,
+            tracer=tracer,
+        )
+
+
+@dataclass
+class ObsSummary:
+    """What the observability stack saw, on :attr:`CampaignResult.obs`.
+
+    ``tracer`` is the live :class:`Tracer` (when tracing was on) for
+    programmatic export/inspection after the campaign; everything else
+    is plain JSON-able data.
+    """
+
+    spec: ObsSpec
+    metrics: Dict[str, object] = field(default_factory=dict)
+    profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    trace_events: int = 0
+    trace_path: Optional[str] = None
+    trace_jsonl_path: Optional[str] = None
+    recorder_events: int = 0
+    tracer: Optional[Tracer] = None

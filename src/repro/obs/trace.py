@@ -1,0 +1,341 @@
+"""Causal heal tracing: spans over virtual time, Perfetto-loadable.
+
+The :class:`Tracer` is the flight-data view of a campaign: the simnet
+kernel feeds it **spans** — one per heal (churn event), one per causal
+delivery layer inside each heal, an instant event per delivered message
+— and the lease/handoff layer feeds admission decisions (grant, defer,
+resume, escalate) as instant events on a control track.  Span timestamps
+are *virtual time* (the discrete-event clock), never wall time, so the
+exported trace is a pure function of the campaign seed: the determinism
+tests pin byte-identical exports across runs.
+
+Track model (Chrome trace-event ``pid``/``tid``):
+
+* ``pid 0`` — protocol traffic; each heal gets its own ``tid`` (the
+  kernel heal id), holding the nested ``heal:* -> layer-d`` spans and
+  the per-message delivery instants.
+* ``pid 1, tid 0`` — the control plane: lease/handoff transitions and
+  driver-level injection marks, on one shared timeline.
+
+Exports:
+
+* :meth:`Tracer.export_chrome` — Chrome trace-event JSON (open the file
+  in https://ui.perfetto.dev, see ``docs/OBSERVABILITY.md``).  The JSON
+  is rendered with sorted keys and fixed separators; same seed -> byte
+  identical.
+* :meth:`Tracer.export_jsonl` — one JSON object per raw record, the
+  grep/stream-friendly form.
+
+Well-formedness is enforced, not hoped for: ending an unknown or
+already-closed span raises :class:`SpanError`, and
+:meth:`Tracer.check_closed` (called by the harness when a campaign
+finishes) raises if any span never closed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import ReproError
+
+#: Virtual-time unit -> exported microseconds (1 vt = 1 ms on screen):
+#: latency models draw O(1)-unit delays, so heals render at readable ms
+#: scale in Perfetto.
+TIME_SCALE_US = 1000.0
+
+#: The two fixed trace processes (chrome ``pid``).
+PID_PROTOCOL = 0
+PID_CONTROL = 1
+
+#: The control plane's single thread.
+CONTROL_TRACK = (PID_CONTROL, 0)
+
+
+class SpanError(ReproError):
+    """A malformed span operation (unknown id, double close, ...)."""
+
+
+@dataclass
+class Span:
+    """One closed (or still open) span, for programmatic inspection."""
+
+    sid: int
+    name: str
+    cat: str
+    pid: int
+    tid: int
+    t0: float
+    t1: Optional[float] = None
+    parent: Optional[int] = None
+    args: Optional[dict] = None
+
+
+class NullTracer:
+    """The disabled tracer: every hook is a no-op, ``enabled`` is False
+    so hot paths can skip argument construction with one attribute test.
+    """
+
+    enabled = False
+
+    def begin(self, name, cat, ts, track, args=None, parent=None) -> int:
+        return -1
+
+    def end(self, sid, ts, args=None) -> None:
+        pass
+
+    def instant(self, name, cat, ts, track=CONTROL_TRACK, args=None) -> None:
+        pass
+
+    def counter(self, name, ts, values, track=(PID_PROTOCOL, 0)) -> None:
+        pass
+
+    def meta(self, name, value, track) -> None:
+        pass
+
+    def check_closed(self) -> None:
+        pass
+
+
+#: The shared no-op singleton every component defaults to.
+NO_TRACE = NullTracer()
+
+
+class Tracer:
+    """Records spans/instants/counters over virtual time (module doc)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._records: List[tuple] = []
+        self._next_sid = 0
+        self._open: Dict[int, Span] = {}
+        self._spans: Dict[int, Span] = {}
+
+    # -- recording ---------------------------------------------------------
+    def begin(
+        self,
+        name: str,
+        cat: str,
+        ts: float,
+        track: Tuple[int, int],
+        args: Optional[dict] = None,
+        parent: Optional[int] = None,
+    ) -> int:
+        """Open a span; returns its id (pass to :meth:`end`).
+
+        ``parent`` links the span into the causal tree (a layer span's
+        parent is its heal span); the link is exported in ``args`` and
+        drives the well-formedness checks.
+        """
+        if parent is not None and parent not in self._spans:
+            raise SpanError(f"span {name!r}: unknown parent {parent}")
+        sid = self._next_sid
+        self._next_sid += 1
+        span = Span(
+            sid=sid, name=name, cat=cat, pid=track[0], tid=track[1],
+            t0=ts, parent=parent, args=args,
+        )
+        self._open[sid] = span
+        self._spans[sid] = span
+        self._records.append(("B", ts, track[0], track[1], sid, name, cat,
+                              args, parent))
+        return sid
+
+    def end(self, sid: int, ts: float, args: Optional[dict] = None) -> None:
+        """Close a span — exactly once, or :class:`SpanError`."""
+        span = self._open.pop(sid, None)
+        if span is None:
+            if sid in self._spans:
+                raise SpanError(f"span {sid} already closed")
+            raise SpanError(f"end of unknown span {sid}")
+        if ts < span.t0:
+            raise SpanError(
+                f"span {sid} ({span.name}) closes at {ts} before opening "
+                f"at {span.t0}"
+            )
+        span.t1 = ts
+        if args:
+            span.args = {**(span.args or {}), **args}
+        self._records.append(("E", ts, span.pid, span.tid, sid, args))
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts: float,
+        track: Tuple[int, int] = CONTROL_TRACK,
+        args: Optional[dict] = None,
+    ) -> None:
+        """A zero-duration event (message delivery, lease transition)."""
+        self._records.append(("I", ts, track[0], track[1], name, cat, args))
+
+    def counter(
+        self,
+        name: str,
+        ts: float,
+        values: Dict[str, float],
+        track: Tuple[int, int] = (PID_PROTOCOL, 0),
+    ) -> None:
+        """A counter-track sample (in-flight heals, queue depth)."""
+        self._records.append(("C", ts, track[0], track[1], name, dict(values)))
+
+    def meta(self, name: str, value: str, track: Tuple[int, int]) -> None:
+        """Name a process/thread (``process_name``/``thread_name``)."""
+        self._records.append(("M", track[0], track[1], name, value))
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def spans(self) -> Dict[int, Span]:
+        """Every span ever begun, by id (open spans have ``t1 None``)."""
+        return dict(self._spans)
+
+    @property
+    def n_records(self) -> int:
+        return len(self._records)
+
+    def open_spans(self) -> List[Span]:
+        return list(self._open.values())
+
+    def check_closed(self) -> None:
+        """Raise :class:`SpanError` if any span never closed."""
+        if self._open:
+            stuck = [(s.sid, s.name) for s in self._open.values()][:6]
+            raise SpanError(f"spans never closed: {stuck}")
+
+    def span_children(self) -> Dict[Optional[int], List[int]]:
+        """The parent -> children index of the span tree."""
+        tree: Dict[Optional[int], List[int]] = {}
+        for sid, span in self._spans.items():
+            tree.setdefault(span.parent, []).append(sid)
+        return tree
+
+    # -- export ------------------------------------------------------------
+    def chrome_events(self) -> List[dict]:
+        """The records as Chrome trace-event dicts (recording order)."""
+        out: List[dict] = []
+        for rec in self._records:
+            kind = rec[0]
+            if kind == "M":
+                _, pid, tid, name, value = rec
+                out.append({
+                    "ph": "M", "pid": pid, "tid": tid, "name": name,
+                    "args": {"name": value},
+                })
+                continue
+            ts = round(rec[1] * TIME_SCALE_US, 3)
+            if kind == "B":
+                _, _, pid, tid, sid, name, cat, args, parent = rec
+                ev = {"ph": "B", "ts": ts, "pid": pid, "tid": tid,
+                      "name": name, "cat": cat}
+                merged = dict(args or {})
+                merged["sid"] = sid
+                if parent is not None:
+                    merged["parent"] = parent
+                ev["args"] = merged
+            elif kind == "E":
+                _, _, pid, tid, sid, args = rec
+                ev = {"ph": "E", "ts": ts, "pid": pid, "tid": tid,
+                      "args": {**(args or {}), "sid": sid}}
+            elif kind == "I":
+                _, _, pid, tid, name, cat, args = rec
+                ev = {"ph": "i", "s": "t", "ts": ts, "pid": pid, "tid": tid,
+                      "name": name, "cat": cat, "args": args or {}}
+            else:
+                assert kind == "C"
+                _, _, pid, tid, name, values = rec
+                ev = {"ph": "C", "ts": ts, "pid": pid, "tid": tid,
+                      "name": name, "args": values}
+            out.append(ev)
+        return out
+
+    def export_chrome(self, path: Optional[str] = None) -> str:
+        """Render (and optionally write) the Chrome trace-event JSON.
+
+        Deterministic byte-for-byte: sorted keys, fixed separators,
+        virtual timestamps only.
+        """
+        doc = {
+            "displayTimeUnit": "ms",
+            "traceEvents": self.chrome_events(),
+        }
+        text = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text
+
+    def export_jsonl(self, path: Optional[str] = None) -> str:
+        """One JSON object per raw record — the streaming/grep form."""
+        keys = {
+            "B": ("ph", "ts", "pid", "tid", "sid", "name", "cat", "args",
+                  "parent"),
+            "E": ("ph", "ts", "pid", "tid", "sid", "args"),
+            "I": ("ph", "ts", "pid", "tid", "name", "cat", "args"),
+            "C": ("ph", "ts", "pid", "tid", "name", "values"),
+            "M": ("ph", "pid", "tid", "name", "value"),
+        }
+        lines = [
+            json.dumps(dict(zip(keys[rec[0]], rec)), sort_keys=True,
+                       separators=(",", ":"))
+            for rec in self._records
+        ]
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text
+
+
+def validate_chrome_trace(doc: dict) -> int:
+    """Validate a Chrome trace-event document; returns the event count.
+
+    Checks the JSON-object form Perfetto's legacy importer accepts:
+    ``traceEvents`` holding events whose ``ph``/``pid``/``tid``/``ts``/
+    ``name`` fields are well-typed, with B/E spans properly nested per
+    ``(pid, tid)`` and timestamps non-decreasing within each nest.
+    Raises ``ValueError`` with the offending event on any violation.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a Chrome trace: no traceEvents key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents is not a list")
+    stacks: Dict[Tuple[int, int], List[dict]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("B", "E", "X", "i", "I", "C", "M", "b", "e", "n"):
+            raise ValueError(f"event {i}: unknown phase {ph!r}")
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+            ev.get("tid"), int
+        ):
+            raise ValueError(f"event {i}: pid/tid must be ints")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)):
+                raise ValueError(f"event {i}: ts must be a number")
+        if ph in ("B", "X", "i", "I", "C", "M") and not isinstance(
+            ev.get("name"), str
+        ):
+            raise ValueError(f"event {i}: missing name")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            raise ValueError(f"event {i}: args must be an object")
+        if ph == "B":
+            stacks.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+        elif ph == "E":
+            stack = stacks.get((ev["pid"], ev["tid"]))
+            if not stack:
+                raise ValueError(f"event {i}: E without matching B")
+            opener = stack.pop()
+            if ev["ts"] < opener["ts"]:
+                raise ValueError(
+                    f"event {i}: span ends at {ev['ts']} before its B "
+                    f"at {opener['ts']}"
+                )
+    unclosed = [(track, len(stack)) for track, stack in stacks.items() if stack]
+    if unclosed:
+        raise ValueError(f"unclosed B/E spans on tracks {unclosed[:4]}")
+    return len(events)

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.errors import ReproError
+from ..obs.trace import CONTROL_TRACK, NO_TRACE
 from .leases import Priority
 
 #: Escalation reasons the transport may record (ISSUE-mandated triggers).
@@ -113,13 +114,27 @@ class DeferredHeal:
 class HandoffLedger:
     """Tracks every event's handoff state + the campaign-level counters."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=NO_TRACE) -> None:
         self._heals: Dict[int, HealHandoff] = {}
         self.escalations: Dict[str, int] = {}
         self.wait_times: List[float] = []
         self.immediate_grants = 0
         self.peak_deferred = 0
         self._deferred_now = 0
+        # Optional causal tracer (repro.obs): every state transition
+        # becomes an instant on the control-plane track, so a Perfetto
+        # view shows grant/defer/resume/escalate against the heal spans.
+        self.tracer = tracer
+
+    def _mark(self, state: str, eid: int, clock: float, **extra) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant(
+                f"handoff:{state}",
+                "handoff",
+                clock,
+                CONTROL_TRACK,
+                args=dict(eid=eid, **extra),
+            )
 
     def __getitem__(self, eid: int) -> HealHandoff:
         return self._heals[eid]
@@ -145,6 +160,7 @@ class HandoffLedger:
         h = HealHandoff(eid=eid, requested_at=clock)
         h.history.append((REQUESTED, clock))
         self._heals[eid] = h
+        self._mark(REQUESTED, eid, clock)
         return h
 
     def granted(self, eid: int, clock: float) -> None:
@@ -152,6 +168,7 @@ class HandoffLedger:
         h.advance(GRANTED, clock)
         h.granted_at = clock
         self.immediate_grants += 1
+        self._mark(GRANTED, eid, clock)
 
     def delegated(self, eid: int, clock: float, to: Optional[int]) -> None:
         h = self._heals[eid]
@@ -159,6 +176,7 @@ class HandoffLedger:
         h.delegated_to = to
         self._deferred_now += 1
         self.peak_deferred = max(self.peak_deferred, self._deferred_now)
+        self._mark(DELEGATED, eid, clock, to=to)
 
     def resumed(self, eid: int, clock: float) -> None:
         h = self._heals[eid]
@@ -166,6 +184,7 @@ class HandoffLedger:
         h.granted_at = clock
         self._deferred_now -= 1
         self.wait_times.append(h.lease_wait)
+        self._mark(RESUMED, eid, clock, waited=h.lease_wait)
 
     def escalated(self, eid: int, clock: float, reason: str) -> None:
         if reason not in ESCALATION_REASONS:
@@ -176,12 +195,15 @@ class HandoffLedger:
         h.advance(ESCALATED, clock)
         h.escalation = reason
         self.escalations[reason] = self.escalations.get(reason, 0) + 1
+        self._mark(ESCALATED, eid, clock, reason=reason)
 
     def injected(self, eid: int, clock: float) -> None:
         self._heals[eid].advance(INJECTED, clock)
+        self._mark(INJECTED, eid, clock)
 
     def released(self, eid: int, clock: float) -> None:
         self._heals[eid].advance(RELEASED, clock)
+        self._mark(RELEASED, eid, clock)
 
     def check_drained(self) -> None:
         """After a global barrier every heal must be terminal.

@@ -34,6 +34,7 @@ invariant broke, and the transport escalates to a global quiesce barrier
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -101,12 +102,17 @@ class LeaseManager:
     quiesced.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, profiler=None, metrics=None) -> None:
         self._held: Dict[int, FrozenSet[int]] = {}
         self._coordinator: Dict[int, Optional[int]] = {}
         self._waiting: List[_Waiter] = []
         self._priority: Dict[int, Priority] = {}
         self.stats = LeaseTableStats()
+        # Optional observability instruments (repro.obs): a PhaseProfiler
+        # timing the grant cascade and a MetricsRegistry streaming the
+        # admission counters.  Both default off and cost one None-check.
+        self.profiler = profiler
+        self.metrics = metrics
 
     # -- queries -----------------------------------------------------------
     def holders(self) -> List[int]:
@@ -217,10 +223,15 @@ class LeaseManager:
             raise LeaseError(f"lease id {eid} already active")
         fp = frozenset(footprint)
         self.stats.requests += 1
+        if self.metrics is not None:
+            self.metrics.counter("lease.requests").inc()
+            self.metrics.histogram("lease.footprint").observe(len(fp))
         blockers = self._blockers(fp, priority)
         if not blockers:
             self._grant(eid, fp, priority, coordinator)
             self.stats.immediate_grants += 1
+            if self.metrics is not None:
+                self.metrics.counter("lease.grants").inc()
             return LeaseDecision(eid=eid, granted=True)
         head = blockers[0]
         delegated = (
@@ -241,6 +252,9 @@ class LeaseManager:
         self._priority[eid] = priority
         self.stats.deferred += 1
         self.stats.peak_waiting = max(self.stats.peak_waiting, len(self._waiting))
+        if self.metrics is not None:
+            self.metrics.counter("lease.defers").inc()
+            self.metrics.gauge("lease.waiting").set(len(self._waiting))
         return LeaseDecision(
             eid=eid, granted=False, blockers=blockers, delegated_to=delegated
         )
@@ -285,6 +299,14 @@ class LeaseManager:
 
     def _grant_unblocked(self) -> List[int]:
         """Grant every waiter whose blocker set emptied (priority order)."""
+        if self.profiler is None:
+            return self._grant_unblocked_inner()
+        t0 = time.perf_counter_ns()
+        granted = self._grant_unblocked_inner()
+        self.profiler.add("lease:cascade", time.perf_counter_ns() - t0)
+        return granted
+
+    def _grant_unblocked_inner(self) -> List[int]:
         granted: List[int] = []
         still_waiting: List[_Waiter] = []
         for w in self._waiting:  # priority order
@@ -309,6 +331,8 @@ class LeaseManager:
                 still_waiting.append(w)
         self._waiting = still_waiting
         self.stats.regrants += len(granted)
+        if granted and self.metrics is not None:
+            self.metrics.counter("lease.regrants").inc(len(granted))
         return granted
 
     def set_coordinator(self, eid: int, coordinator: Optional[int]) -> None:

@@ -45,12 +45,16 @@ of the injected events.  Tests pin this by comparing event logs.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.errors import ProtocolError
 from ..distributed.messages import Message
 from ..distributed.network import Network, RoundStats
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import PhaseProfiler
+from ..obs.trace import CONTROL_TRACK, NO_TRACE, PID_PROTOCOL
 from .latency import LatencySpec, resolve_latency
 from .scheduler import SchedulerSpec, resolve_scheduler
 
@@ -121,6 +125,19 @@ class AsyncNetwork(Network):
         artifact).  Off by default: long campaigns deliver hundreds of
         thousands of messages and the log is pure overhead when nothing
         reads it.
+    tracer:
+        An :class:`~repro.obs.Tracer` to feed with causal spans: one
+        span per heal, nested layer spans per causal depth, an instant
+        per delivered message, control entries on the control track.
+        Defaults to the shared no-op (one ``.enabled`` test per hook).
+    profiler:
+        A :class:`~repro.obs.PhaseProfiler`; when set, every delivered
+        message's handler is wall-timed under ``deliver:<MessageType>``
+        (the portion walks and RT rebuilds run inside those handlers).
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry`; the kernel streams
+        per-heal latency/depth histograms and delivery counters into it
+        (O(1) memory however long the campaign runs).
     """
 
     def __init__(
@@ -131,9 +148,15 @@ class AsyncNetwork(Network):
         max_depth: int = 4096,
         record_samples: bool = False,
         record_log: bool = False,
+        tracer=NO_TRACE,
+        profiler: Optional[PhaseProfiler] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         super().__init__(max_sub_rounds=max_depth)
         self.seed = seed
+        self.tracer = tracer
+        self.profiler = profiler
+        self.metrics = metrics
         self.latency = resolve_latency(latency, seed=2 * seed + 1)
         self.scheduler = resolve_scheduler(scheduler, seed=2 * seed + 2)
         self.clock = 0.0
@@ -152,6 +175,13 @@ class AsyncNetwork(Network):
         self._heal_stats: Dict[int, HealStats] = {}
         self._ctx: Optional[Tuple[int, int]] = None
         self._compat_hid: Optional[int] = None
+        # Tracing state: heal span ids, the open layer span per heal
+        # (depth, span id), and the clock of each heal's last delivery
+        # (layer spans close at their own last delivery, not at the next
+        # layer's first — honest durations on the heal's own track).
+        self._heal_span: Dict[int, int] = {}
+        self._layer_span: Dict[int, Tuple[int, int]] = {}
+        self._layer_last: Dict[int, float] = {}
 
     # -- heal lifecycle ----------------------------------------------------
     def open_heal(
@@ -182,6 +212,19 @@ class AsyncNetwork(Network):
         self._pending[hid] = 0
         self._depth_seen[hid] = -1
         self._ctx = (hid, -1)
+        if self.tracer.enabled:
+            track = (PID_PROTOCOL, hid)
+            self.tracer.meta(
+                "thread_name", f"heal {hid}" + (f" ({label})" if label else ""),
+                track,
+            )
+            self._heal_span[hid] = self.tracer.begin(
+                f"heal:{label}" if label else f"heal:{hid}",
+                "heal",
+                self.clock,
+                track,
+                args={"hid": hid},
+            )
         return hid
 
     def close_injection(self) -> int:
@@ -212,6 +255,29 @@ class AsyncNetwork(Network):
         del self._buckets[hid]
         del self._pending[hid]
         self.stats_history.append(stats)
+        if self.tracer.enabled:
+            layer = self._layer_span.pop(hid, None)
+            if layer is not None:
+                self.tracer.end(layer[1], self._layer_last.pop(hid))
+            self.tracer.end(
+                self._heal_span.pop(hid),
+                self.clock,
+                # Exact floats, so a trace reader can rebuild the
+                # summary's latency histogram bit-for-bit.
+                args={
+                    "heal_latency": stats.heal_latency,
+                    "lease_wait": stats.lease_wait,
+                    "sub_rounds": stats.sub_rounds,
+                },
+            )
+        if self.metrics is not None:
+            self.metrics.counter("kernel.heals").inc()
+            self.metrics.histogram("kernel.heal_latency").observe(
+                stats.heal_latency
+            )
+            self.metrics.histogram("kernel.heal_depth").observe(
+                float(stats.sub_rounds)
+            )
 
     # -- transport ---------------------------------------------------------
     def send(self, message: Message) -> None:
@@ -272,6 +338,8 @@ class AsyncNetwork(Network):
         self.clock = max(self.clock, env.deliver_at)
         self._depth_seen[env.heal] = max(self._depth_seen[env.heal], env.depth)
         msg = env.message
+        if self.tracer.enabled:
+            self._trace_delivery(env, msg)
         if self.record_log:
             self.event_log.append(
                 (
@@ -292,13 +360,55 @@ class AsyncNetwork(Network):
             prev = self._ctx
             self._ctx = (env.heal, env.depth)
             try:
-                node.handle(msg)
+                if self.profiler is None:
+                    node.handle(msg)
+                else:
+                    t0 = time.perf_counter_ns()
+                    node.handle(msg)
+                    self.profiler.add(
+                        "deliver:" + type(msg).__name__,
+                        time.perf_counter_ns() - t0,
+                    )
             finally:
                 self._ctx = prev
         self.delivered += 1
+        if self.metrics is not None:
+            self.metrics.counter("kernel.delivered").inc()
         if self._pending[env.heal] == 0:
             self._finalize(env.heal)
         self._sample()
+
+    def _trace_delivery(self, env: Envelope, msg: Message) -> None:
+        """Span bookkeeping for one delivery: roll the heal's layer span
+        when the causal depth advances, mark the delivery itself."""
+        hid = env.heal
+        track = (PID_PROTOCOL, hid)
+        layer = self._layer_span.get(hid)
+        if layer is None or layer[0] != env.depth:
+            if layer is not None:
+                self.tracer.end(layer[1], self._layer_last[hid])
+            sid = self.tracer.begin(
+                f"layer-{env.depth}",
+                "layer",
+                self.clock,
+                track,
+                args={"depth": env.depth},
+                parent=self._heal_span[hid],
+            )
+            self._layer_span[hid] = (env.depth, sid)
+        self._layer_last[hid] = self.clock
+        self.tracer.instant(
+            "deliver:" + type(msg).__name__,
+            "msg",
+            self.clock,
+            track,
+            args={
+                "s": msg.sender,
+                "r": msg.recipient,
+                "depth": env.depth,
+                "dropped": msg.recipient not in self.nodes,
+            },
+        )
 
     def run_until(self, horizon: float) -> None:
         """Deliver every message that can legally land by ``horizon``
@@ -348,10 +458,27 @@ class AsyncNetwork(Network):
         *admission-layer event id* for pre-injection entries
         (``lease-defer``/``lease-resume``/``lease-escalate-*``, whose
         heal does not exist yet); the tag says which id space applies.
-        No-op unless ``record_log``.
+        Also mirrored onto the tracer's control track (lease grant /
+        defer / resume / escalate as span events) when tracing is on;
+        otherwise a no-op unless ``record_log``.
         """
         if self.record_log:
             self.event_log.append((round(self.clock, 9), ref, -1, -1, -1, tag))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                tag, "control", self.clock, CONTROL_TRACK, args={"ref": ref}
+            )
+
+    def trace_instant(self, name: str, **args) -> None:
+        """Driver-level trace mark (overrides the sync network's no-op):
+        stamped with the virtual clock, on the current heal's track when
+        a heal context is open, else on the control track."""
+        if self.tracer.enabled:
+            track = (
+                (PID_PROTOCOL, self._ctx[0]) if self._ctx is not None
+                else CONTROL_TRACK
+            )
+            self.tracer.instant(name, "driver", self.clock, track, args=args)
 
     # -- instrumentation ---------------------------------------------------
     def _sample(self) -> None:
@@ -363,6 +490,12 @@ class AsyncNetwork(Network):
             self.peak_queue_depth = queued
         if self.record_samples:
             self.samples.append((self.clock, open_heals, queued))
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "in-flight",
+                self.clock,
+                {"heals": open_heals, "queued": queued},
+            )
 
     def in_flight(self) -> Tuple[int, int]:
         """Current ``(open heals, queued messages)``."""

@@ -48,12 +48,18 @@ the oracle's healed graph node-for-node, raising
 
 from __future__ import annotations
 
+import os
+import tempfile
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.errors import ReproError
 from ..core.events import HealReport
 from ..graphs.spanning import bfs_tree
+from ..obs.histogram import LogHistogram
+from ..obs.spec import ObsState
+from ..obs.trace import NO_TRACE
 from ..regions import (
     DELEGATED,
     DeferredHeal,
@@ -199,25 +205,6 @@ def heal_footprint(report: HealReport, graph=None) -> Set[int]:
     return fp
 
 
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending sequence (empty -> 0)."""
-    if not sorted_values:
-        return 0.0
-    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
-    return sorted_values[rank]
-
-
-def _percentile_summary(values: Sequence[float]) -> Dict[str, float]:
-    ordered = sorted(values)
-    return {
-        "p50": _percentile(ordered, 0.50),
-        "p90": _percentile(ordered, 0.90),
-        "p99": _percentile(ordered, 0.99),
-        "max": ordered[-1] if ordered else 0.0,
-        "mean": (sum(ordered) / len(ordered)) if ordered else 0.0,
-    }
-
-
 @dataclass
 class TransportSummary:
     """What a campaign's transport mirror observed (per campaign).
@@ -228,6 +215,11 @@ class TransportSummary:
     deepest delegation queue, and every escalation back to the global
     barrier broken down by reason — the honest record of how often the
     overlap protocol could *not* keep intersecting heals concurrent.
+
+    Percentiles come from the shared
+    :class:`~repro.obs.histogram.LogHistogram` primitive (the one
+    quantile implementation in the repo — the benches and the skype
+    example report these exact numbers).
     """
 
     mode: str
@@ -251,13 +243,21 @@ class TransportSummary:
     escalations: Dict[str, int] = field(default_factory=dict)
 
     @property
+    def heal_latency_hist(self) -> LogHistogram:
+        return LogHistogram.from_values(self.heal_latencies)
+
+    @property
+    def lease_wait_hist(self) -> LogHistogram:
+        return LogHistogram.from_values(self.lease_wait_times)
+
+    @property
     def heal_latency_percentiles(self) -> Dict[str, float]:
-        return _percentile_summary(self.heal_latencies)
+        return self.heal_latency_hist.summary()
 
     @property
     def lease_wait_percentiles(self) -> Dict[str, float]:
         """Distribution of the delegated events' virtual wait times."""
-        return _percentile_summary(self.lease_wait_times)
+        return self.lease_wait_hist.summary()
 
     @property
     def total_escalations(self) -> int:
@@ -273,9 +273,21 @@ class TransportMirror:
     and returns the :class:`TransportSummary`.
     """
 
-    def __init__(self, healer, spec: TransportSpec):
+    def __init__(
+        self, healer, spec: TransportSpec, obs: Optional[ObsState] = None
+    ):
         self.spec = spec
         self.seed = spec.seed if spec.seed is not None else 0
+        # The observability instruments (repro.obs) this mirror and its
+        # kernel write into.  ``obs=None`` keeps every hook a single
+        # attribute/None check on the hot paths.
+        self.obs = obs
+        self.tracer = obs.tracer if obs is not None else NO_TRACE
+        self.profiler = obs.profiler if obs is not None else None
+        self.metrics = obs.metrics if obs is not None else None
+        self.recorder = obs.recorder if obs is not None else None
+        self._recorder_dir = obs.spec.recorder_dir if obs is not None else None
+        self._flight_path: Optional[str] = None
         self.net: Optional[AsyncNetwork] = None
         if spec.mode == "async":
             self.net = AsyncNetwork(
@@ -284,6 +296,9 @@ class TransportMirror:
                 seed=self.seed,
                 max_depth=spec.max_depth,
                 record_samples=spec.record_samples,
+                tracer=self.tracer,
+                profiler=self.profiler,
+                metrics=self.metrics,
             )
         self.driver, self._oracle_edges = self._build_driver(healer)
         if self.net is not None:
@@ -307,8 +322,8 @@ class TransportMirror:
         # Region-lease state (overlap="lease" only): the lease table,
         # the per-event handoff ledger, the parked delegated events, and
         # the kernel-heal-id -> event-id map of injected lease heals.
-        self.leases = LeaseManager()
-        self.ledger = HandoffLedger()
+        self.leases = LeaseManager(profiler=self.profiler, metrics=self.metrics)
+        self.ledger = HandoffLedger(tracer=self.tracer)
         self._deferred: Dict[int, DeferredHeal] = {}
         self._live: Dict[int, int] = {}
 
@@ -352,6 +367,15 @@ class TransportMirror:
     # ------------------------------------------------------------------
     def apply(self, report: HealReport) -> None:
         """Mirror one oracle event onto the distributed runtime."""
+        if self.recorder is not None:
+            self.recorder.record(
+                "event",
+                clock=self.net.clock if self.net is not None else 0.0,
+                eid=self.events,
+                what="insert" if report.is_insertion else f"delete-{report.deleted}",
+            )
+        if self.metrics is not None:
+            self.metrics.counter("mirror.events").inc()
         if self.spec.mode == "sync":
             self._apply_now(report)
         elif self.spec.overlap == "lease":
@@ -378,9 +402,18 @@ class TransportMirror:
         else:
             self.driver.delete(report.deleted)
 
+    def _footprint(self, report: HealReport) -> Set[int]:
+        """Extract the heal footprint, timed when profiling is on."""
+        if self.profiler is None:
+            return heal_footprint(report, graph=self._oracle_graph())
+        t0 = time.perf_counter_ns()
+        fp = heal_footprint(report, graph=self._oracle_graph())
+        self.profiler.add("mirror:footprint", time.perf_counter_ns() - t0)
+        return fp
+
     def _apply_serialize(self, report: HealReport) -> None:
         assert self.net is not None
-        footprint = heal_footprint(report, graph=self._oracle_graph())
+        footprint = self._footprint(report)
         self._prune_inflight()
         if any(footprint & other for other in self._inflight.values()):
             # The event touches a region still healing: serialize it
@@ -422,7 +455,7 @@ class TransportMirror:
         cycle, an over-deep wait convoy) escalates to the barrier.
         """
         assert self.net is not None
-        footprint = frozenset(heal_footprint(report, graph=self._oracle_graph()))
+        footprint = frozenset(self._footprint(report))
         self._pump_leases()
         eid = self.events
         now = self.net.clock
@@ -486,6 +519,10 @@ class TransportMirror:
             self._resume(self.leases.withdraw(eid))
         self.ledger.escalated(eid, now, reason)
         self.net.log_control(f"lease-escalate-{reason}", eid)
+        if self.recorder is not None:
+            self.recorder.record("escalate", clock=now, eid=eid, reason=reason)
+        if self.metrics is not None:
+            self.metrics.counter(f"lease.escalations.{reason}").inc()
         self.barrier()
         decision = self.leases.acquire(eid, footprint, (now, eid))
         assert decision.granted  # the table is empty after a barrier
@@ -545,6 +582,10 @@ class TransportMirror:
             if self.ledger[resumed].state == DELEGATED:
                 self.ledger.resumed(resumed, now)
                 self.net.log_control("lease-resume", resumed)
+                if self.metrics is not None:
+                    self.metrics.histogram("lease.wait").observe(
+                        self.ledger[resumed].lease_wait
+                    )
             self._inject_lease_heal(resumed, deferred.report)
 
     def _flush_leases(self) -> None:
@@ -593,17 +634,65 @@ class TransportMirror:
         handoff queue — every delegated event injects in priority order
         as its blockers drain — so the verified image always includes
         every oracle event mirrored so far."""
-        if self.net is not None:
-            if self.spec.overlap == "lease" and self.spec.mode == "async":
-                self._flush_leases()
-                self.ledger.check_drained()
-            else:
-                self.net.quiesce()
-                self._inflight.clear()
-        self.driver._check_quiescent()
-        self.verify()
+        clock_before = self.net.clock if self.net is not None else 0.0
+        t0 = time.perf_counter_ns() if self.profiler is not None else 0
+        try:
+            if self.net is not None:
+                if self.spec.overlap == "lease" and self.spec.mode == "async":
+                    self._flush_leases()
+                    self.ledger.check_drained()
+                else:
+                    self.net.quiesce()
+                    self._inflight.clear()
+            self.driver._check_quiescent()
+            self.verify()
+        except ReproError as exc:
+            self._fail(exc)
         self.barriers += 1
         self._since_barrier = 0
+        if self.profiler is not None:
+            self.profiler.add("mirror:barrier", time.perf_counter_ns() - t0)
+            if self.net is not None:
+                self.profiler.add_virtual(
+                    "mirror:barrier", self.net.clock - clock_before
+                )
+        if self.recorder is not None:
+            self.recorder.record(
+                "barrier",
+                clock=self.net.clock if self.net is not None else 0.0,
+                events=self.events,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("mirror.barriers").inc()
+
+    def _fail(self, exc: ReproError) -> None:
+        """Invariant/cross-validation failure: dump the flight recorder.
+
+        The dump lands as JSONL next to the failure (``recorder_dir`` or
+        the system temp dir), and the re-raised exception names the
+        event-id range it holds so the bisection starts from the dump,
+        not from a re-run.  Idempotent: a failure that unwinds through
+        nested barriers dumps once and keeps citing the same file.
+        """
+        if self.recorder is not None and self.recorder.recorded:
+            if self._flight_path is None:
+                first, last = self.recorder.id_range
+                directory = self._recorder_dir or tempfile.gettempdir()
+                self._flight_path = os.path.join(
+                    directory, f"flight-seed{self.seed}-ev{first}-{last}.jsonl"
+                )
+                self.recorder.dump(self._flight_path)
+            first, last = self.recorder.id_range
+            note = (
+                f"flight recorder: events {first}..{last} "
+                f"dumped to {self._flight_path}"
+            )
+            exc.args = (
+                (f"{exc.args[0]}\n{note}",) + exc.args[1:]
+                if exc.args
+                else (note,)
+            )
+        raise exc
 
     def verify(self, expected: Optional[Set[Tuple[int, int]]] = None) -> None:
         """Node-for-node healed-image comparison against the oracle."""
@@ -623,7 +712,10 @@ class TransportMirror:
         self.barrier()
         # The mirror is now caught up with the oracle: close the loop
         # against the live healer, not just the accumulated deltas.
-        self.verify(expected=self._oracle_edges())
+        try:
+            self.verify(expected=self._oracle_edges())
+        except ReproError as exc:
+            self._fail(exc)
         spec = self.spec
         summary = TransportSummary(
             mode=spec.mode,
