@@ -157,7 +157,6 @@ def dump_json(rows, trajectories):
             },
             fh,
             indent=2,
-            default=str,
         )
 
 

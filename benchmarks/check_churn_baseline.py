@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Gate the EXP-CHURN-LADDER scaling baseline.
+
+The ladder (``bench_churn.run_flat_ladder``) plays sustained random churn
+at n ∈ {10k, 100k, 1M} (quick mode: {10k, 50k}) through the production
+path and records µs/event per rung.  Per-event healing is O(log n) local
+work on the flat core, so the cost must stay ~flat as n grows 100x: the
+gate fails when the top rung costs more than ``MAX_GROWTH``× the bottom
+rung.  Wall times are machine-dependent, so only the *ratio* within one
+artifact is gated — committed and fresh artifacts are never compared
+row-by-row (they usually come from different machines and, in CI, from
+different regimes: the committed baseline is a full-mode run containing
+the 1M rung, the fresh artifact a quick-mode smoke).
+
+Structural columns are absolute and machine-independent, so those are
+gated exactly on both artifacts: every rung must stay connected and keep
+peak degree increase ≤ 3 (Forgiving Tree guarantee: ≤ b + 1 = 3).
+
+Usage::
+
+    python benchmarks/check_churn_baseline.py COMMITTED [FRESH]
+
+``COMMITTED`` is held to ``MAX_GROWTH``; the optional ``FRESH`` artifact
+(the one CI just produced) gets ``FRESH_SLACK``× extra headroom for
+shared-runner scheduling noise.  Exit status 1 on any violation.  When
+``GITHUB_STEP_SUMMARY`` is set, a markdown report is appended to it as
+well as printed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+#: Allowed µs/event growth across the committed ladder (top rung over
+#: bottom rung).  The flat core holds ~1.2x over 10k → 1M; 2.0 leaves
+#: room for cache effects at the top rung without letting a reintroduced
+#: O(n)-per-event path (which would show up as ~100x) anywhere near.
+MAX_GROWTH = 2.0
+
+#: Extra multiplier for the artifact CI just produced on a noisy shared
+#: runner (gate: MAX_GROWTH * FRESH_SLACK).
+FRESH_SLACK = 1.5
+
+#: Forgiving Tree degree guarantee: increase ≤ b + 1 with b = 2.
+MAX_DEGREE_INCREASE = 3
+
+
+def load_ladder(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if "ladder" not in data:
+        raise SystemExit(f"{path}: no 'ladder' section (regenerate the bench)")
+    ladder = data["ladder"]
+    if len(ladder.get("rows", [])) < 2:
+        raise SystemExit(f"{path}: ladder needs >= 2 rungs to gate growth")
+    return ladder
+
+
+def columns(ladder: dict) -> dict:
+    return {name: i for i, name in enumerate(ladder["headers"])}
+
+
+def check(label: str, path: str, max_growth: float) -> tuple:
+    """Return (problems, summary_line) for one artifact."""
+    ladder = load_ladder(path)
+    col = columns(ladder)
+    rows = sorted(ladder["rows"], key=lambda r: r[col["n0"]])
+    problems = []
+    for row in rows:
+        n0 = row[col["n0"]]
+        if not isinstance(row[col["us_per_event"]], (int, float)):
+            problems.append(
+                f"{label}: n={n0}: us_per_event is "
+                f"{row[col['us_per_event']]!r}, not a number — the artifact "
+                "was written by a serializer that stringifies cells"
+            )
+        if row[col["connected"]] is not True:
+            problems.append(f"{label}: n={n0}: overlay disconnected")
+        if row[col["peak_ddeg"]] > MAX_DEGREE_INCREASE:
+            problems.append(
+                f"{label}: n={n0}: peak degree increase "
+                f"{row[col['peak_ddeg']]} > {MAX_DEGREE_INCREASE}"
+            )
+    if problems:
+        return problems, ""
+    bottom, top = rows[0], rows[-1]
+    growth = top[col["us_per_event"]] / max(bottom[col["us_per_event"]], 1e-9)
+    line = (
+        f"{label}: n={bottom[col['n0']]:,} → {top[col['n0']]:,}: "
+        f"{bottom[col['us_per_event']]} → {top[col['us_per_event']]} µs/event "
+        f"({growth:.2f}x, bar {max_growth}x)"
+    )
+    if growth > max_growth:
+        problems.append(
+            f"{label}: per-event cost grew {growth:.2f}x from "
+            f"n={bottom[col['n0']]:,} to n={top[col['n0']]:,} "
+            f"(bar: {max_growth}x) — the sequential hot path regressed"
+        )
+    return problems, line
+
+
+def main(argv: list) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__)
+        return 2
+    problems, lines = [], []
+    p, line = check("committed", argv[1], MAX_GROWTH)
+    problems += p
+    if line:
+        lines.append(line)
+    if len(argv) == 3:
+        p, line = check("fresh", argv[2], MAX_GROWTH * FRESH_SLACK)
+        problems += p
+        if line:
+            lines.append(line)
+    if problems:
+        out = ["## EXP-CHURN-LADDER regression", ""]
+        out += [f"- {p}" for p in problems]
+        out.append(
+            "\nIf a real change moved the baseline, regenerate the full "
+            "ladder with `PYTHONPATH=src python -m benchmarks.bench_churn` "
+            "(no CHURN_BENCH_QUICK — the committed baseline must contain "
+            "the 1M rung) and commit `benchmarks/out/BENCH_churn.json`."
+        )
+    else:
+        out = ["## EXP-CHURN-LADDER scaling", ""]
+        out += [f"- {line}" for line in lines]
+    text = "\n".join(out)
+    print(text)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as fh:
+            fh.write(text + "\n")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -48,6 +48,7 @@ Public entry points
 """
 
 from .core import (
+    FlatForgivingTree,
     ForgivingTree,
     HealReport,
     HelperState,
@@ -63,6 +64,7 @@ from .fgraph import ForgivingGraph
 __version__ = "1.1.0"
 
 __all__ = [
+    "FlatForgivingTree",
     "ForgivingGraph",
     "ForgivingTree",
     "HealReport",

@@ -6,24 +6,42 @@ loss of generality may as well be the entire network".  The healer maintains
 the Forgiving Tree over a BFS spanning tree and keeps the surviving
 *non-tree* edges of the original graph in the overlay (they can only help
 the diameter and never hurt the degree bound, since they existed in G_0).
+
+Two interchangeable cores drive the same protocol (``core=``):
+
+* ``"flat"`` (default) — :class:`~repro.core.flat_tree.FlatForgivingTree`,
+  struct-of-arrays storage with O(1) hot queries; what churn campaigns at
+  n = 10k..1M run on.
+* ``"object"`` — :class:`~repro.core.forgiving_tree.ForgivingTree`, the
+  readable per-node object reference the flat core is differentially
+  tested against (``tests/test_flatcore.py``).
+
+The two produce bit-identical :class:`~repro.core.events.HealReport`
+streams, so the choice never changes results — only constant factors.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Optional, Set, Tuple
 
 from ..core.events import HealReport, edge_key
+from ..core.flat_tree import FlatForgivingTree
 from ..core.forgiving_tree import WILL_SPLICE, ForgivingTree
 from ..graphs.adjacency import Graph, require_connected
 from ..graphs.spanning import bfs_tree, non_tree_edges
 from .base import Healer
+
+#: ``core=`` choices: engine class per storage layout.
+ENGINE_CORES = {"flat": FlatForgivingTree, "object": ForgivingTree}
 
 
 class ForgivingTreeHealer(Healer):
     """Forgiving Tree self-healing over a general connected graph.
 
     Parameters mirror :class:`~repro.core.forgiving_tree.ForgivingTree`;
-    ``root`` selects the spanning-tree root (default: smallest id).
+    ``root`` selects the spanning-tree root (default: smallest id);
+    ``core`` selects the storage layout (see module docstring).
     """
 
     name = "forgiving-tree"
@@ -35,11 +53,15 @@ class ForgivingTreeHealer(Healer):
         branching: int = 2,
         will_mode: str = WILL_SPLICE,
         strict: bool = False,
+        core: str = "flat",
     ):
         super().__init__(graph)
         require_connected(graph)
+        if core not in ENGINE_CORES:
+            raise ValueError(f"unknown core {core!r} (one of {sorted(ENGINE_CORES)})")
         tree = bfs_tree(graph, root)
-        self.engine = ForgivingTree(
+        self.core = core
+        self.engine = ENGINE_CORES[core](
             tree,
             root=root,
             branching=branching,
@@ -47,6 +69,9 @@ class ForgivingTreeHealer(Healer):
             strict=strict,
         )
         self._extra: Set[Tuple[int, int]] = non_tree_edges(graph, tree)
+        # When the input was already a tree, the overlay *is* the engine's
+        # image for the whole campaign — O(1) metric fast paths apply.
+        self._pure_tree = not self._extra
 
     def delete(self, nid: int) -> HealReport:
         self._pre_delete(nid)
@@ -92,6 +117,34 @@ class ForgivingTreeHealer(Healer):
         return self.engine.adjacency()
 
     def max_degree_increase(self) -> int:
-        # Non-tree edges only ever disappear, so the increase is governed
-        # by the engine; still measure on the merged graph for honesty.
+        # On pure-tree inputs the merged overlay equals the engine image
+        # and the healer's baseline degrees equal the engine's, so the
+        # engine's maintained maximum (O(1) on the flat core) is the
+        # answer.  With original non-tree extras the merged graph differs:
+        # measure on it for honesty, as the base class does.
+        if self._pure_tree:
+            return self.engine.max_degree_increase()
         return super().max_degree_increase()
+
+    def fast_stats(self) -> Tuple[bool, int]:
+        """O(1) ``(connected, alive_count)`` without materializing the graph.
+
+        The engine maintains a spanning tree of the survivors at all
+        times, so the healed overlay is connected whenever anyone is
+        alive — extras only ever add edges.  The harness's
+        ``metrics="none"`` path uses this instead of a per-round BFS.
+        """
+        return True, len(self.engine.alive)
+
+    def sample_alive(self, rng: random.Random) -> int:
+        """Uniform surviving node id; O(1) on the flat core.
+
+        Capability hook for opt-in fast adversary sampling
+        (``RandomChurnAdversary(fast_sample=True)``).  The object core
+        falls back to a sorted draw with the same distribution (but a
+        different stream than the adversary's classic path).
+        """
+        sampler = getattr(self.engine, "sample_alive", None)
+        if sampler is not None:
+            return sampler(rng)
+        return rng.choice(sorted(self.engine.alive))

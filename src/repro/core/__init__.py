@@ -23,6 +23,8 @@ from .events import (
     WillPortionSent,
     edge_key,
 )
+from .flat import AliveView, FlatCore, FlatWills
+from .flat_tree import FlatForgivingTree
 from .forgiving_tree import WILL_REBUILD, WILL_SPLICE, ForgivingTree
 from .slot_tree import SlotTree
 from .state import ALLOWED_TRANSITIONS, HelperState, NodeState
@@ -30,11 +32,15 @@ from .virtual_tree import VirtualTree, VTHelper, VTNode, VTReal
 
 __all__ = [
     "ALLOWED_TRANSITIONS",
+    "AliveView",
     "DisconnectedGraphError",
     "DuplicateNodeError",
     "EdgeAdded",
     "EdgeRemoved",
     "EmptyStructureError",
+    "FlatCore",
+    "FlatForgivingTree",
+    "FlatWills",
     "ForgivingTree",
     "HealReport",
     "HelperCreated",

@@ -1,0 +1,1299 @@
+"""Flat struct-of-arrays storage for the Forgiving Tree hot path.
+
+The object core (:mod:`repro.core.virtual_tree`, :mod:`repro.core.slot_tree`)
+keeps one Python object per virtual-tree node and per will position.  That is
+the right shape for reading the paper but the wrong shape for sustained-churn
+campaigns: at n = 10^6 the object graph alone costs gigabytes and every hot
+query (``alive``, ``max_degree_increase``, victim sampling) is O(n) per event,
+which is where BENCH_churn's superlinear per-event cost came from.
+
+This module stores the same two structures in preallocated parallel arrays
+(``array('q')`` — C longs, no per-node objects):
+
+``FlatCore`` — the virtual tree::
+
+    slot:   0    1    2    ...          (int handle, recycled via free list)
+    kind  [ R  | R  | H  | ... ]        free / real / helper
+    ident [ nid| nid| hid| ... ]        real id or helper id
+    sim   [ -1 | -1 | nid| ... ]        simulator (helpers only)
+    parent[ .. | .. | .. | ... ]        parent slot or -1
+    head/tail/next/prev/nchild          intrusive doubly-linked child lists
+    role  [ .. | -1 | -- | ... ]        helper slot simulated by this real
+    imgdeg/inc                          image degree & degree increase
+
+``FlatWills`` — every node's will (SubRT blueprint) in one shared arena::
+
+    pos:    0     1     2    ...        (int handle, per-arena free list)
+    wkind [ L   | I   | L  | ... ]      free / leaf / internal
+    wval  [ s_i | sim | s_i| ... ]      stand-in (leaf) or simulator (internal)
+    wparent/whead/wtail/wnext/wprev/wnchild
+
+Three contracts make the flat layer a drop-in replacement:
+
+* **ids are never reused** at the API boundary: slots recycle, node ids do
+  not (``FlatForgivingTree`` keeps the ``_ever`` set exactly like the object
+  engine).  Virtual-tree slots freed during an event enter a *limbo* list
+  and only rejoin the free list when the next event starts, so within one
+  healing round slot equality is object identity — the engine's ``is``
+  checks translate to ``==`` on ints without aliasing.
+* **orderings are preserved**: child lists are doubly linked (insert-before
+  and positional replace are O(1)), helper iteration is hid-ascending, and
+  every will operation touches positions in the same order as the object
+  :class:`~repro.core.slot_tree.SlotTree` — so event logs, message tallies
+  and donor choices are bit-identical to the reference implementation
+  (asserted by the object-vs-flat parity wall in ``tests/test_flatcore.py``).
+* **hot queries are O(1)**: ``alive`` is a :class:`AliveView` (a live
+  ``collections.abc.Set`` over the id map — no per-event set copy),
+  ``max_degree_increase`` reads a maintained degree-increase multiset,
+  uniform victim sampling indexes a compact alive list, and per-node image
+  degree is a maintained counter instead of an O(m) edge scan.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Set as AbstractSet
+from array import array
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .errors import (
+    DuplicateNodeError,
+    EmptyStructureError,
+    InvariantViolationError,
+    NodeNotFoundError,
+)
+from .events import EdgeAdded, EdgeRemoved, edge_key
+from .slot_tree import (
+    AddBatchDelta,
+    AddDelta,
+    InternalSpec,
+    PosRef,
+    RemovalDelta,
+    ReplaceDelta,
+    SlotTree,
+    _Internal,
+    _Leaf,
+    _split_even,
+)
+
+NIL = -1
+
+#: Virtual-tree slot kinds.
+KIND_FREE = 0
+KIND_REAL = 1
+KIND_HELPER = 2
+
+#: Will-arena position kinds.
+W_FREE = 0
+W_LEAF = 1
+W_INTERNAL = 2
+
+
+class AliveView(AbstractSet):
+    """Zero-copy live view of the surviving node ids.
+
+    The object engine's ``alive`` property returns ``set(self._reals)`` — an
+    O(n) copy per call, paid on every churn event by the harness's liveness
+    check and the adversary's victim pick.  This view supports the same set
+    algebra (``==``, ``in``, ``<=``, ``|``, ``-``, ``sorted``) through
+    :class:`collections.abc.Set` without materializing anything; binary
+    operations return plain ``set`` objects.
+    """
+
+    __slots__ = ("_reals",)
+
+    def __init__(self, reals: Dict[int, int]):
+        self._reals = reals
+
+    def __contains__(self, nid: object) -> bool:
+        return nid in self._reals
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._reals)
+
+    def __len__(self) -> int:
+        return len(self._reals)
+
+    @classmethod
+    def _from_iterable(cls, it) -> set:
+        return set(it)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AliveView({set(self._reals)!r})"
+
+
+class FlatCore:
+    """The virtual tree on parallel arrays (see module docstring).
+
+    Handles are integer *slots*; ``NIL`` (= -1) plays ``None``.  The public
+    mutation API mirrors :class:`~repro.core.virtual_tree.VirtualTree`
+    operation for operation, including the order of emitted image-edge
+    events, so the engine port stays a line-by-line translation.
+    """
+
+    def __init__(self, recorder: Optional[Callable[[object], None]] = None):
+        self.kind = array("q")
+        self.ident = array("q")  # nid for reals, hid for helpers
+        self.sim = array("q")  # helpers: simulator nid; reals: NIL
+        self.parent = array("q")
+        self.head = array("q")  # first child slot
+        self.tail = array("q")  # last child slot
+        self.next = array("q")  # next sibling slot
+        self.prev = array("q")  # previous sibling slot
+        self.nchild = array("q")
+        self.role = array("q")  # reals: slot of the helper they simulate
+        self.imgdeg = array("q")  # reals: degree in the image graph
+        self.inc = array("q")  # reals: imgdeg - original degree
+
+        self._reals: Dict[int, int] = {}  # nid -> slot
+        self._helpers: Dict[int, int] = {}  # hid -> slot (hid-ascending order)
+        self._image: Dict[Tuple[int, int], int] = {}  # canonical edge -> mult
+        self._root = NIL
+        self._hid_counter = 0
+        self.recorder = recorder
+
+        self._free: List[int] = []
+        self._limbo: List[int] = []  # freed this event; recycled next event
+
+        # Degree-increase multiset over alive reals: value -> count, plus a
+        # lazily-repaired max (values are bounded by branching + 1, so the
+        # repair scan is O(#distinct values) and rare).
+        self._inc_count: Dict[int, int] = {}
+        self._inc_max = 0
+        self._inc_dirty = False
+
+        # Compact alive list for O(1) uniform sampling (swap-pop removal).
+        self._alive_list: List[int] = []
+        self._alive_idx: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # arena management
+    # ------------------------------------------------------------------
+    def reserve(self, capacity: int) -> None:
+        """Preallocate slot capacity (bulk zero-extend, for big builds)."""
+        extra = capacity - len(self.kind)
+        if extra <= 0:
+            return
+        zeros = array("q", bytes(8 * extra))
+        for arr in (
+            self.kind, self.ident, self.sim, self.parent, self.head,
+            self.tail, self.next, self.prev, self.nchild, self.role,
+            self.imgdeg, self.inc,
+        ):
+            arr.extend(zeros)
+        # Newly minted slots are free, highest last so low slots pop first.
+        self._free.extend(range(capacity - 1, len(self.kind) - extra - 1, -1))
+
+    def begin_event(self) -> None:
+        """Start a new healing round: recycle the previous round's slots.
+
+        Quarantining frees for one event preserves within-event identity
+        semantics (the engine compares slot handles taken at different
+        points of one repair).
+        """
+        if self._limbo:
+            self._free.extend(self._limbo)
+            self._limbo.clear()
+
+    def _alloc(self) -> int:
+        if self._free:
+            return self._free.pop()
+        slot = len(self.kind)
+        for arr in (
+            self.kind, self.ident, self.sim, self.parent, self.head,
+            self.tail, self.next, self.prev, self.nchild, self.role,
+            self.imgdeg, self.inc,
+        ):
+            arr.append(0)
+        return slot
+
+    def _release(self, slot: int) -> None:
+        self.kind[slot] = KIND_FREE
+        self._limbo.append(slot)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> int:
+        return self._root
+
+    def alive_view(self) -> AliveView:
+        return AliveView(self._reals)
+
+    def __len__(self) -> int:
+        return len(self._reals)
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._reals
+
+    def real(self, nid: int) -> int:
+        try:
+            return self._reals[nid]
+        except KeyError:
+            raise NodeNotFoundError(nid, "virtual tree") from None
+
+    def is_real(self, slot: int) -> bool:
+        return self.kind[slot] == KIND_REAL
+
+    def is_helper(self, slot: int) -> bool:
+        return self.kind[slot] == KIND_HELPER
+
+    def owner(self, slot: int) -> int:
+        """The real node answering for ``slot`` in the image graph."""
+        return self.ident[slot] if self.kind[slot] == KIND_REAL else self.sim[slot]
+
+    def role_of(self, nid: int) -> int:
+        """Slot of the helper ``nid`` simulates, or NIL."""
+        return self.role[self._reals[nid]]
+
+    def helper_slots(self) -> List[int]:
+        """All helper slots, hid-ascending (dict order: hids are monotone)."""
+        return list(self._helpers.values())
+
+    def helper_alive(self, slot: int) -> bool:
+        return (
+            self.kind[slot] == KIND_HELPER
+            and self._helpers.get(self.ident[slot]) == slot
+        )
+
+    def children(self, slot: int) -> List[int]:
+        """Child slots in order (a fresh list — safe to mutate under it)."""
+        out: List[int] = []
+        nxt = self.next
+        c = self.head[slot]
+        while c != NIL:
+            out.append(c)
+            c = nxt[c]
+        return out
+
+    def sample_alive(self, rng) -> int:
+        """Uniform surviving node in O(1) (the ladder's victim picker)."""
+        if not self._alive_list:
+            raise EmptyStructureError("sample from an empty network")
+        return self._alive_list[rng.randrange(len(self._alive_list))]
+
+    # ------------------------------------------------------------------
+    # image graph
+    # ------------------------------------------------------------------
+    def image_adjacency(self) -> Dict[int, Set[int]]:
+        adj: Dict[int, Set[int]] = {nid: set() for nid in self._reals}
+        for (u, v) in self._image:
+            adj[u].add(v)
+            adj[v].add(u)
+        return adj
+
+    def image_edges(self) -> Set[Tuple[int, int]]:
+        return set(self._image)
+
+    def image_degree(self, nid: int) -> int:
+        if nid not in self._reals:
+            raise NodeNotFoundError(nid, "image degree")
+        return self.imgdeg[self._reals[nid]]
+
+    def degree_increase(self, nid: int) -> int:
+        return self.inc[self._reals[nid]]
+
+    def max_degree_increase(self) -> int:
+        """Max degree increase over survivors, O(1) amortized."""
+        if not self._inc_count:
+            return 0
+        if self._inc_dirty:
+            self._inc_max = max(self._inc_count)
+            self._inc_dirty = False
+        return self._inc_max
+
+    def _inc_shift(self, slot: int, delta: int) -> None:
+        """Move a live real's degree-increase value in the multiset."""
+        old = self.inc[slot]
+        new = old + delta
+        self.inc[slot] = new
+        self._inc_leave(old)
+        self._inc_enter(new)
+
+    def _inc_enter(self, val: int) -> None:
+        count = self._inc_count
+        if val in count:
+            count[val] += 1
+        elif count:
+            count[val] = 1
+            if not self._inc_dirty and val > self._inc_max:
+                self._inc_max = val
+        else:
+            count[val] = 1
+            self._inc_max = val
+            self._inc_dirty = False
+
+    def _inc_leave(self, val: int) -> None:
+        count = self._inc_count
+        c = count[val] - 1
+        if c:
+            count[val] = c
+        else:
+            del count[val]
+            if val == self._inc_max:
+                self._inc_dirty = True
+
+    def bump_original_degree(self, nid: int) -> None:
+        """The ideal-graph baseline of ``nid`` grew by one edge."""
+        self._inc_shift(self._reals[nid], -1)
+
+    def _image_add(self, a: int, b: int) -> None:
+        u = self.ident[a] if self.kind[a] == KIND_REAL else self.sim[a]
+        v = self.ident[b] if self.kind[b] == KIND_REAL else self.sim[b]
+        if u == v:
+            return
+        key = (u, v) if u <= v else (v, u)
+        mult = self._image.get(key, 0) + 1
+        self._image[key] = mult
+        if mult == 1:
+            su, sv = self._reals[u], self._reals[v]
+            self.imgdeg[su] += 1
+            self.imgdeg[sv] += 1
+            self._inc_shift(su, 1)
+            self._inc_shift(sv, 1)
+            if self.recorder is not None:
+                self.recorder(EdgeAdded(*key))
+
+    def _image_remove(self, a: int, b: int) -> None:
+        u = self.ident[a] if self.kind[a] == KIND_REAL else self.sim[a]
+        v = self.ident[b] if self.kind[b] == KIND_REAL else self.sim[b]
+        if u == v:
+            return
+        key = (u, v) if u <= v else (v, u)
+        mult = self._image.get(key, 0)
+        if mult <= 0:
+            raise InvariantViolationError("image-refcount", f"edge {key} not present")
+        if mult == 1:
+            del self._image[key]
+            su, sv = self._reals[u], self._reals[v]
+            self.imgdeg[su] -= 1
+            self.imgdeg[sv] -= 1
+            self._inc_shift(su, -1)
+            self._inc_shift(sv, -1)
+            if self.recorder is not None:
+                self.recorder(EdgeRemoved(*key))
+        else:
+            self._image[key] = mult - 1
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_real(self, nid: int, original_degree: int = 0) -> int:
+        if nid in self._reals:
+            raise DuplicateNodeError(nid)
+        slot = self._alloc()
+        self.kind[slot] = KIND_REAL
+        self.ident[slot] = nid
+        self.sim[slot] = NIL
+        self.parent[slot] = NIL
+        self.head[slot] = NIL
+        self.tail[slot] = NIL
+        self.next[slot] = NIL
+        self.prev[slot] = NIL
+        self.nchild[slot] = 0
+        self.role[slot] = NIL
+        self.imgdeg[slot] = 0
+        self.inc[slot] = -original_degree
+        self._reals[nid] = slot
+        self._inc_enter(-original_degree)
+        self._alive_idx[nid] = len(self._alive_list)
+        self._alive_list.append(nid)
+        return slot
+
+    def new_helper(self, sim: int) -> int:
+        try:
+            sim_slot = self._reals[sim]
+        except KeyError:
+            raise NodeNotFoundError(sim, "helper simulator") from None
+        if self.role[sim_slot] != NIL:
+            raise InvariantViolationError(
+                "one-role-per-node", f"{sim} already simulates a helper"
+            )
+        self._hid_counter += 1
+        slot = self._alloc()
+        self.kind[slot] = KIND_HELPER
+        self.ident[slot] = self._hid_counter
+        self.sim[slot] = sim
+        self.parent[slot] = NIL
+        self.head[slot] = NIL
+        self.tail[slot] = NIL
+        self.next[slot] = NIL
+        self.prev[slot] = NIL
+        self.nchild[slot] = 0
+        self.role[slot] = NIL
+        self._helpers[self._hid_counter] = slot
+        self.role[sim_slot] = slot
+        return slot
+
+    def set_root(self, slot: int) -> None:
+        if slot != NIL and self.parent[slot] != NIL:
+            raise InvariantViolationError("root", "root must have no parent")
+        self._root = slot
+
+    # ------------------------------------------------------------------
+    # structural mutations (image bookkeeping is automatic)
+    # ------------------------------------------------------------------
+    def attach(self, child: int, parent: int, before: int = NIL) -> None:
+        """Attach a detached subtree under ``parent``.
+
+        ``before`` names an existing child to insert in front of; NIL
+        appends (the common case).
+        """
+        if self.parent[child] != NIL:
+            raise InvariantViolationError("attach", "child already attached")
+        if before == NIL:
+            last = self.tail[parent]
+            if last == NIL:
+                self.head[parent] = child
+            else:
+                self.next[last] = child
+            self.prev[child] = last
+            self.next[child] = NIL
+            self.tail[parent] = child
+        else:
+            prv = self.prev[before]
+            self.prev[child] = prv
+            self.next[child] = before
+            self.prev[before] = child
+            if prv == NIL:
+                self.head[parent] = child
+            else:
+                self.next[prv] = child
+        self.nchild[parent] += 1
+        self.parent[child] = parent
+        self._image_add(child, parent)
+
+    def detach(self, child: int) -> int:
+        """Detach ``child`` from its parent; returns the old parent or NIL."""
+        parent = self.parent[child]
+        if parent == NIL:
+            return NIL
+        prv, nxt = self.prev[child], self.next[child]
+        if prv == NIL:
+            self.head[parent] = nxt
+        else:
+            self.next[prv] = nxt
+        if nxt == NIL:
+            self.tail[parent] = prv
+        else:
+            self.prev[nxt] = prv
+        self.prev[child] = NIL
+        self.next[child] = NIL
+        self.nchild[parent] -= 1
+        self.parent[child] = NIL
+        self._image_remove(child, parent)
+        return parent
+
+    def replace_child(self, parent: int, old: int, new: int) -> None:
+        """Substitute ``old`` by detached ``new`` at the same position."""
+        if self.parent[new] != NIL:
+            raise InvariantViolationError("replace_child", "replacement already attached")
+        prv, nxt = self.prev[old], self.next[old]
+        self.prev[new] = prv
+        self.next[new] = nxt
+        if prv == NIL:
+            self.head[parent] = new
+        else:
+            self.next[prv] = new
+        if nxt == NIL:
+            self.tail[parent] = new
+        else:
+            self.prev[nxt] = new
+        self.prev[old] = NIL
+        self.next[old] = NIL
+        self.parent[old] = NIL
+        self.parent[new] = parent
+        self._image_remove(old, parent)
+        self._image_add(new, parent)
+
+    def splice(self, helper: int) -> int:
+        """Bypass a one-child helper: its child takes its place."""
+        if self.nchild[helper] != 1:
+            raise InvariantViolationError(
+                "bypass-precondition", f"helper has {self.nchild[helper]} children"
+            )
+        child = self.head[helper]
+        parent = self.parent[helper]
+        self.detach(child)
+        if parent != NIL:
+            nxt = self.next[helper]
+            self.detach(helper)
+            self.attach(child, parent, before=nxt)
+        else:
+            if self._root == helper:
+                self._root = child
+        self.destroy_helper(helper)
+        return child
+
+    def transfer_role(self, helper: int, new_sim: int) -> int:
+        """Change the simulator of ``helper``; returns the previous one."""
+        if new_sim not in self._reals:
+            raise NodeNotFoundError(new_sim, "transfer_role")
+        new_slot = self._reals[new_sim]
+        if self.role[new_slot] != NIL:
+            raise InvariantViolationError(
+                "one-role-per-node", f"{new_sim} already simulates a helper"
+            )
+        old_sim = self.sim[helper]
+        incident = self.children(helper)
+        if self.parent[helper] != NIL:
+            incident.append(self.parent[helper])
+        for other in incident:
+            self._image_remove(helper, other)
+        old_slot = self._reals.get(old_sim, NIL)
+        if old_slot != NIL and self.role[old_slot] == helper:
+            self.role[old_slot] = NIL
+        self.sim[helper] = new_sim
+        self.role[new_slot] = helper
+        for other in incident:
+            self._image_add(helper, other)
+        return old_sim
+
+    def destroy_helper(self, helper: int) -> None:
+        """Remove a detached, childless helper from the structure."""
+        if self.nchild[helper] or self.parent[helper] != NIL:
+            raise InvariantViolationError("destroy-helper", "still attached")
+        sim = self.sim[helper]
+        sim_slot = self._reals.get(sim, NIL)
+        if sim_slot != NIL and self.role[sim_slot] == helper:
+            self.role[sim_slot] = NIL
+        if self._root == helper:
+            self._root = NIL
+        del self._helpers[self.ident[helper]]
+        self._release(helper)
+
+    def remove_real(self, slot: int) -> None:
+        """Remove a detached, childless, role-free real node."""
+        if self.nchild[slot] or self.parent[slot] != NIL:
+            raise InvariantViolationError("remove-real", "still attached")
+        if self.role[slot] != NIL:
+            raise InvariantViolationError("remove-real", "still simulating a helper")
+        if self._root == slot:
+            self._root = NIL
+        nid = self.ident[slot]
+        del self._reals[nid]
+        self._inc_leave(self.inc[slot])
+        idx = self._alive_idx.pop(nid)
+        last = self._alive_list.pop()
+        if last != nid:
+            self._alive_list[idx] = last
+            self._alive_idx[last] = idx
+        self._release(slot)
+
+    # ------------------------------------------------------------------
+    # validation / inspection
+    # ------------------------------------------------------------------
+    def iter_slots(self) -> Iterator[int]:
+        """Preorder traversal from the root (matches VirtualTree order)."""
+        if self._root == NIL:
+            return
+        stack = [self._root]
+        while stack:
+            slot = stack.pop()
+            yield slot
+            stack.extend(reversed(self.children(slot)))
+
+    def check(self, branching: int = 2) -> None:
+        """Validate the virtual-tree invariants plus flat-only bookkeeping."""
+        if self._root == NIL:
+            if self._reals or self._helpers:
+                raise InvariantViolationError("vt-empty", "nodes exist but no root")
+            self._check_counters()
+            return
+        if self.parent[self._root] != NIL:
+            raise InvariantViolationError("vt-root", "root has a parent")
+        seen_real: Set[int] = set()
+        seen_help: Set[int] = set()
+        for slot in self.iter_slots():
+            kids = self.children(slot)
+            if len(kids) != self.nchild[slot]:
+                raise InvariantViolationError("flat-nchild", f"slot {slot}")
+            prev = NIL
+            for child in kids:
+                if self.parent[child] != slot:
+                    raise InvariantViolationError("vt-parent-link", f"slot {slot}")
+                if self.prev[child] != prev:
+                    raise InvariantViolationError("flat-sib-links", f"slot {slot}")
+                prev = child
+            if self.tail[slot] != (kids[-1] if kids else NIL):
+                raise InvariantViolationError("flat-tail", f"slot {slot}")
+            if self.kind[slot] == KIND_REAL:
+                nid = self.ident[slot]
+                if nid in seen_real:
+                    raise InvariantViolationError("vt-dup", f"real {nid}")
+                seen_real.add(nid)
+                if self._reals.get(nid) != slot:
+                    raise InvariantViolationError("flat-real-index", str(nid))
+            elif self.kind[slot] == KIND_HELPER:
+                hid = self.ident[slot]
+                if hid in seen_help:
+                    raise InvariantViolationError("vt-dup", f"helper {hid}")
+                seen_help.add(hid)
+                if self.sim[slot] not in self._reals:
+                    raise InvariantViolationError(
+                        "vt-sim-alive", f"helper {hid} simulated by dead {self.sim[slot]}"
+                    )
+                if self.role[self._reals[self.sim[slot]]] != slot:
+                    raise InvariantViolationError(
+                        "vt-role-map", f"role map disagrees for sim {self.sim[slot]}"
+                    )
+                if not 1 <= self.nchild[slot] <= branching:
+                    raise InvariantViolationError(
+                        "vt-helper-arity",
+                        f"helper {hid} has {self.nchild[slot]} children",
+                    )
+            else:
+                raise InvariantViolationError("flat-free-reachable", f"slot {slot}")
+        if seen_real != set(self._reals):
+            raise InvariantViolationError(
+                "vt-reachability", f"unreachable reals: {set(self._reals) - seen_real}"
+            )
+        if seen_help != set(self._helpers):
+            raise InvariantViolationError(
+                "vt-reachability", f"unreachable helpers: {set(self._helpers) - seen_help}"
+            )
+        # incremental image graph must match a from-scratch recomputation
+        recomputed: Dict[Tuple[int, int], int] = {}
+        for slot in self.iter_slots():
+            for child in self.children(slot):
+                u, v = self.owner(slot), self.owner(child)
+                if u != v:
+                    key = edge_key(u, v)
+                    recomputed[key] = recomputed.get(key, 0) + 1
+        if recomputed != self._image:
+            raise InvariantViolationError("image-counter", "incremental image diverged")
+        self._check_counters()
+
+    def _check_counters(self) -> None:
+        """Flat-only: degree counters, multiset, alive list, free lists."""
+        degs: Dict[int, int] = {nid: 0 for nid in self._reals}
+        for (u, v) in self._image:
+            degs[u] += 1
+            degs[v] += 1
+        inc_recount: Dict[int, int] = {}
+        for nid, slot in self._reals.items():
+            if self.imgdeg[slot] != degs[nid]:
+                raise InvariantViolationError(
+                    "flat-imgdeg", f"node {nid}: {self.imgdeg[slot]} != {degs[nid]}"
+                )
+            val = self.inc[slot]
+            inc_recount[val] = inc_recount.get(val, 0) + 1
+        if inc_recount != self._inc_count:
+            raise InvariantViolationError("flat-inc-multiset", "multiset diverged")
+        if inc_recount and self.max_degree_increase() != max(inc_recount):
+            raise InvariantViolationError("flat-inc-max", "stale maximum")
+        if sorted(self._alive_list) != sorted(self._reals):
+            raise InvariantViolationError("flat-alive-list", "alive list diverged")
+        for nid, idx in self._alive_idx.items():
+            if self._alive_list[idx] != nid:
+                raise InvariantViolationError("flat-alive-idx", str(nid))
+        used = set(self._reals.values()) | set(self._helpers.values())
+        spare = set(self._free) | set(self._limbo)
+        if used & spare:
+            raise InvariantViolationError("flat-free-list", "live slot on free list")
+        if len(spare) != len(self._free) + len(self._limbo):
+            raise InvariantViolationError("flat-free-list", "duplicate free slot")
+        for slot in spare:
+            if self.kind[slot] != KIND_FREE:
+                raise InvariantViolationError("flat-free-kind", str(slot))
+
+
+class FlatWills:
+    """Every node's will (SubRT blueprint) in one shared flat arena.
+
+    One :class:`~repro.core.slot_tree.SlotTree` per node is the object
+    layout; here all wills share four parallel arrays plus global position
+    indexes keyed by ``(owner, stand_in)``.  Operations take the owning
+    node id first and mirror the SlotTree maintenance rules *exactly* —
+    same placement, same re-keying, same deterministic pool ordering, same
+    reported deltas (the dataclasses are reused verbatim).
+
+    Positions free eagerly (the engine never holds position handles across
+    operations, so no limbo list is needed here).
+    """
+
+    def __init__(self, branching: int = 2):
+        if branching < 2:
+            raise ValueError(f"branching must be >= 2, got {branching}")
+        self.branching = branching
+        self.wkind = array("q")
+        self.wval = array("q")  # stand-in (leaf) or simulator (internal)
+        self.wparent = array("q")
+        self.whead = array("q")
+        self.wtail = array("q")
+        self.wnext = array("q")
+        self.wprev = array("q")
+        self.wnchild = array("q")
+        self._free: List[int] = []
+
+        self._root: Dict[int, int] = {}  # owner -> root pos (NIL when empty);
+        #                                  key existence == will existence
+        self._heir: Dict[int, int] = {}  # owner -> heir stand-in (NIL none)
+        self._leafpos: Dict[Tuple[int, int], int] = {}
+        self._intpos: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # arena management
+    # ------------------------------------------------------------------
+    def reserve(self, capacity: int) -> None:
+        extra = capacity - len(self.wkind)
+        if extra <= 0:
+            return
+        zeros = array("q", bytes(8 * extra))
+        for arr in (
+            self.wkind, self.wval, self.wparent, self.whead,
+            self.wtail, self.wnext, self.wprev, self.wnchild,
+        ):
+            arr.extend(zeros)
+        self._free.extend(range(capacity - 1, len(self.wkind) - extra - 1, -1))
+
+    def _alloc(self) -> int:
+        if self._free:
+            return self._free.pop()
+        pos = len(self.wkind)
+        for arr in (
+            self.wkind, self.wval, self.wparent, self.whead,
+            self.wtail, self.wnext, self.wprev, self.wnchild,
+        ):
+            arr.append(0)
+        return pos
+
+    def _release(self, pos: int) -> None:
+        self.wkind[pos] = W_FREE
+        self._free.append(pos)
+
+    def _mk_leaf(self, owner: int, stand_in: int, parent: int = NIL) -> int:
+        pos = self._alloc()
+        self.wkind[pos] = W_LEAF
+        self.wval[pos] = stand_in
+        self.wparent[pos] = parent
+        self.whead[pos] = NIL
+        self.wtail[pos] = NIL
+        self.wnext[pos] = NIL
+        self.wprev[pos] = NIL
+        self.wnchild[pos] = 0
+        self._leafpos[(owner, stand_in)] = pos
+        return pos
+
+    def _mk_internal(self, owner: int, sim: int, children: Sequence[int]) -> int:
+        pos = self._alloc()
+        self.wkind[pos] = W_INTERNAL
+        self.wval[pos] = sim
+        self.wparent[pos] = NIL
+        self.wnext[pos] = NIL
+        self.wprev[pos] = NIL
+        self.wnchild[pos] = len(children)
+        prev = NIL
+        for child in children:
+            self.wparent[child] = pos
+            self.wprev[child] = prev
+            if prev == NIL:
+                self.whead[pos] = child
+            else:
+                self.wnext[prev] = child
+            prev = child
+        self.wnext[prev] = NIL
+        self.wtail[pos] = prev
+        self._intpos[(owner, sim)] = pos
+        return pos
+
+    def _children(self, pos: int) -> List[int]:
+        out: List[int] = []
+        nxt = self.wnext
+        c = self.whead[pos]
+        while c != NIL:
+            out.append(c)
+            c = nxt[c]
+        return out
+
+    def _unlink(self, parent: int, child: int) -> None:
+        prv, nxt = self.wprev[child], self.wnext[child]
+        if prv == NIL:
+            self.whead[parent] = nxt
+        else:
+            self.wnext[prv] = nxt
+        if nxt == NIL:
+            self.wtail[parent] = prv
+        else:
+            self.wprev[nxt] = prv
+        self.wprev[child] = NIL
+        self.wnext[child] = NIL
+        self.wparent[child] = NIL
+        self.wnchild[parent] -= 1
+
+    def _graft(self, owner: int, old: int, new: int) -> None:
+        """Put ``new`` exactly where ``old`` sits (links + parent + root)."""
+        grand = self.wparent[old]
+        prv, nxt = self.wprev[old], self.wnext[old]
+        self.wprev[new] = prv
+        self.wnext[new] = nxt
+        self.wparent[new] = grand
+        if grand == NIL:
+            self._root[owner] = new
+        else:
+            if prv == NIL:
+                self.whead[grand] = new
+            else:
+                self.wnext[prv] = new
+            if nxt == NIL:
+                self.wtail[grand] = new
+            else:
+                self.wprev[nxt] = new
+        self.wprev[old] = NIL
+        self.wnext[old] = NIL
+        self.wparent[old] = NIL
+
+    # ------------------------------------------------------------------
+    # construction / teardown
+    # ------------------------------------------------------------------
+    def build(self, owner: int, stand_ins: Sequence[int]) -> None:
+        """Create ``owner``'s will (Algorithm 3.5 shape, same as SlotTree)."""
+        if owner in self._root:
+            raise DuplicateNodeError(owner)
+        ids = sorted(stand_ins)
+        if len(set(ids)) != len(ids):
+            dup = next(x for i, x in enumerate(ids) if i and ids[i - 1] == x)
+            raise DuplicateNodeError(dup)
+        if not ids:
+            self._root[owner] = NIL
+            self._heir[owner] = NIL
+            return
+        self._heir[owner] = ids[-1]
+        self._root[owner] = self._build(owner, ids)
+
+    def _build(self, owner: int, ids: Sequence[int]) -> int:
+        if len(ids) == 1:
+            return self._mk_leaf(owner, ids[0])
+        groups = _split_even(ids, self.branching)
+        children = [self._build(owner, g) for g in groups]
+        sim = max(groups[0])  # BST separator: max of first subtree
+        return self._mk_internal(owner, sim, children)
+
+    def discard(self, owner: int) -> None:
+        """Drop ``owner``'s will entirely, freeing its positions."""
+        root = self._root.pop(owner)
+        self._heir.pop(owner)
+        if root == NIL:
+            return
+        stack = [root]
+        while stack:
+            pos = stack.pop()
+            if self.wkind[pos] == W_LEAF:
+                del self._leafpos[(owner, self.wval[pos])]
+            else:
+                del self._intpos[(owner, self.wval[pos])]
+                stack.extend(self._children(pos))
+            self._release(pos)
+
+    # ------------------------------------------------------------------
+    # queries (SlotTree API, owner-first)
+    # ------------------------------------------------------------------
+    def has(self, owner: int) -> bool:
+        """Does ``owner`` currently hold a will at all?"""
+        return owner in self._root
+
+    def empty(self, owner: int) -> bool:
+        return self._root[owner] == NIL
+
+    def size(self, owner: int) -> int:
+        root = self._root[owner]
+        return 0 if root == NIL else self._count_leaves(root)
+
+    def _count_leaves(self, root: int) -> int:
+        n = 0
+        stack = [root]
+        while stack:
+            pos = stack.pop()
+            if self.wkind[pos] == W_LEAF:
+                n += 1
+            else:
+                stack.extend(self._children(pos))
+        return n
+
+    def contains(self, owner: int, stand_in: int) -> bool:
+        return (owner, stand_in) in self._leafpos
+
+    def heir(self, owner: int) -> Optional[int]:
+        h = self._heir[owner]
+        return None if h == NIL else h
+
+    def stand_ins(self, owner: int) -> List[int]:
+        """Leaf stand-ins, left to right."""
+        root = self._root[owner]
+        out: List[int] = []
+        if root != NIL:
+            self._collect_leaves(root, out)
+        return out
+
+    def _collect_leaves(self, pos: int, out: List[int]) -> None:
+        if self.wkind[pos] == W_LEAF:
+            out.append(self.wval[pos])
+        else:
+            c = self.whead[pos]
+            while c != NIL:
+                self._collect_leaves(c, out)
+                c = self.wnext[c]
+
+    def _collect_internals(self, owner: int) -> List[int]:
+        root = self._root[owner]
+        if root == NIL or self.wkind[root] == W_LEAF:
+            return []
+        out: List[int] = []
+        stack = [root]
+        while stack:
+            pos = stack.pop()
+            if self.wkind[pos] == W_INTERNAL:
+                out.append(pos)
+                stack.extend(self._children(pos))
+        return out
+
+    def internal_sims(self, owner: int) -> List[int]:
+        return sorted(self.wval[p] for p in self._collect_internals(owner))
+
+    def has_internal(self, owner: int, stand_in: int) -> bool:
+        return (owner, stand_in) in self._intpos
+
+    def root_sim(self, owner: int) -> int:
+        root = self._root[owner]
+        if root == NIL:
+            raise EmptyStructureError("root of empty slot tree")
+        return self.wval[root]
+
+    def _ref(self, pos: int) -> PosRef:
+        if self.wkind[pos] == W_LEAF:
+            return ("leaf", self.wval[pos])
+        return ("internal", self.wval[pos])
+
+    def internal_specs(self, owner: int) -> List[InternalSpec]:
+        """All internal positions with parent/children refs, sim-ascending."""
+        specs: List[InternalSpec] = []
+        for pos in sorted(self._collect_internals(owner), key=lambda p: self.wval[p]):
+            parent = self.wparent[pos]
+            spec = InternalSpec(
+                sim=self.wval[pos],
+                parent=("top",) if parent == NIL else ("internal", self.wval[parent]),
+            )
+            spec.children = [self._ref(c) for c in self._children(pos)]
+            specs.append(spec)
+        return specs
+
+    # ------------------------------------------------------------------
+    # positional maintenance (SlotTree ports)
+    # ------------------------------------------------------------------
+    def _leaf(self, owner: int, stand_in: int) -> int:
+        try:
+            return self._leafpos[(owner, stand_in)]
+        except KeyError:
+            raise NodeNotFoundError(stand_in, "slot tree leaf") from None
+
+    def _around(self, pos: int) -> List[int]:
+        """Stand-ins whose portions reference ``pos`` (O(1) of them)."""
+        out = [self.wval[pos]]
+        parent = self.wparent[pos]
+        if parent != NIL:
+            out.append(self.wval[parent])
+        if self.wkind[pos] == W_INTERNAL:
+            c = self.whead[pos]
+            while c != NIL:
+                out.append(self.wval[c])
+                c = self.wnext[c]
+        return out
+
+    def _pick_free(self, owner: int, freed: List[int]) -> int:
+        if freed:
+            return freed[0]
+        heir = self._heir[owner]
+        pool = [
+            s
+            for s in sorted(self.stand_ins(owner))
+            if s != heir and (owner, s) not in self._intpos
+        ]
+        if not pool:
+            raise InvariantViolationError("slot-tree-pool", "no free stand-in")
+        return pool[0]
+
+    def _touched_filter(self, owner: int, touched: List[int]) -> Tuple[int, ...]:
+        leafpos = self._leafpos
+        return tuple(dict.fromkeys(t for t in touched if (owner, t) in leafpos))
+
+    def remove(self, owner: int, stand_in: int) -> RemovalDelta:
+        """Remove a dead leaf slot positionally (SlotTree.remove port)."""
+        leaf = self._leaf(owner, stand_in)
+        del self._leafpos[(owner, stand_in)]
+        parent = self.wparent[leaf]
+
+        if parent == NIL:  # single-slot will
+            self._root[owner] = NIL
+            self._heir[owner] = NIL
+            self._release(leaf)
+            return RemovalDelta(emptied=True)
+
+        self._unlink(parent, leaf)
+        self._release(leaf)
+        touched: List[int] = []
+        spliced_sim: Optional[int] = None
+        freed: List[int] = []
+        to_free: List[int] = []
+
+        # The dead stand-in's own internal assignment (if any) is now vacant.
+        vacant = self._intpos.pop((owner, stand_in), None)
+
+        if self.wnchild[parent] == 1:
+            # "short-circuit": splice the one-child internal position out.
+            only = self.whead[parent]
+            self._unlink(parent, only)
+            self._graft(owner, parent, only)
+            parent_sim = self.wval[parent]
+            spliced_sim = parent_sim
+            if vacant is not None and parent == vacant:
+                vacant = None  # the vacant position itself was spliced away
+            else:
+                self._intpos.pop((owner, parent_sim), None)
+                freed.append(parent_sim)
+            to_free.append(parent)
+            touched.append(parent_sim)  # it lost its internal assignment
+            touched.extend(self._around(only))
+        else:
+            touched.extend(self._around(parent))
+
+        reassigned: Optional[Tuple[int, int]] = None
+        if vacant is not None:
+            new_sim = self._pick_free(owner, freed)
+            self.wval[vacant] = new_sim
+            self._intpos[(owner, new_sim)] = vacant
+            if new_sim in freed:
+                freed.remove(new_sim)
+            reassigned = (stand_in, new_sim)
+            touched.append(new_sim)
+            touched.extend(self._around(vacant))
+
+        new_heir: Optional[int] = None
+        if stand_in == self._heir[owner]:
+            new_heir = self._pick_free(owner, freed)
+            self._heir[owner] = new_heir
+            touched.append(new_heir)
+
+        for pos in to_free:
+            self._release(pos)
+        return RemovalDelta(
+            emptied=False,
+            spliced_sim=spliced_sim,
+            reassigned=reassigned,
+            new_heir=new_heir,
+            touched=self._touched_filter(owner, touched),
+        )
+
+    def replace(self, owner: int, old: int, new: int) -> ReplaceDelta:
+        """Substitute stand-in ``old`` by ``new`` positionally."""
+        if (owner, new) in self._leafpos:
+            raise DuplicateNodeError(new)
+        leaf = self._leaf(owner, old)
+        del self._leafpos[(owner, old)]
+        self.wval[leaf] = new
+        self._leafpos[(owner, new)] = leaf
+
+        node = self._intpos.pop((owner, old), None)
+        had_internal = node is not None
+        if node is not None:
+            self.wval[node] = new
+            self._intpos[(owner, new)] = node
+
+        was_heir = old == self._heir[owner]
+        if was_heir:
+            self._heir[owner] = new
+
+        touched = [new]
+        touched.extend(self._around(leaf))
+        if node is not None:
+            touched.extend(self._around(node))
+        return ReplaceDelta(
+            was_heir=was_heir,
+            had_internal=had_internal,
+            touched=self._touched_filter(owner, touched),
+        )
+
+    def add(self, owner: int, stand_in: int) -> AddDelta:
+        """Insert a new leaf slot positionally (SlotTree.add port)."""
+        if (owner, stand_in) in self._leafpos:
+            raise DuplicateNodeError(stand_in)
+        root = self._root[owner]
+        leaf = self._mk_leaf(owner, stand_in)
+
+        if root == NIL:
+            self._root[owner] = leaf
+            self._heir[owner] = stand_in
+            return AddDelta(became_heir=True, touched=(stand_in,))
+
+        # Level-order scan: first spare internal slot (b > 2) or first
+        # (= shallowest) leaf wins.
+        queue: deque = deque([root])
+        target = root
+        while queue:
+            pos = queue.popleft()
+            if self.wkind[pos] == W_LEAF or self.wnchild[pos] < self.branching:
+                target = pos
+                break
+            queue.extend(self._children(pos))
+
+        touched: List[int] = [stand_in]
+        if self.wkind[target] == W_INTERNAL:
+            last = self.wtail[target]
+            self.wnext[last] = leaf
+            self.wprev[leaf] = last
+            self.wtail[target] = leaf
+            self.wparent[leaf] = target
+            self.wnchild[target] += 1
+            touched.extend(self._around(target))
+            return AddDelta(touched=self._touched_filter(owner, touched))
+
+        node = self._alloc()
+        self.wkind[node] = W_INTERNAL
+        self.wval[node] = stand_in
+        self.whead[node] = NIL
+        self.wtail[node] = NIL
+        self.wnchild[node] = 0
+        self.wnext[node] = NIL
+        self.wprev[node] = NIL
+        self.wparent[node] = NIL
+        self._graft(owner, target, node)  # node takes target's place
+        self.whead[node] = target
+        self.wtail[node] = leaf
+        self.wnext[target] = leaf
+        self.wprev[leaf] = target
+        self.wparent[target] = node
+        self.wparent[leaf] = node
+        self.wnchild[node] = 2
+        self._intpos[(owner, stand_in)] = node
+        touched.extend(self._around(node))
+        return AddDelta(
+            paired_with=self.wval[target],
+            touched=self._touched_filter(owner, touched),
+        )
+
+    def add_batch(self, owner: int, stand_ins: Sequence[int]) -> AddBatchDelta:
+        """Insert a wave of leaf slots (SlotTree.add_batch port)."""
+        ids = [int(s) for s in stand_ins]
+        if len(set(ids)) != len(ids):
+            dup = next(x for i, x in enumerate(ids) if x in ids[:i])
+            raise DuplicateNodeError(dup)
+        touched: List[int] = []
+        for s in ids:
+            touched.extend(self.add(owner, s).touched)
+        return AddBatchDelta(
+            added=tuple(ids),
+            touched=self._touched_filter(owner, touched),
+        )
+
+    def set_heir(self, owner: int, new_heir: int) -> Tuple[int, ...]:
+        """Move heir-ness to another free stand-in (generalized-b only)."""
+        if (owner, new_heir) not in self._leafpos:
+            raise NodeNotFoundError(new_heir, "set_heir")
+        if (owner, new_heir) in self._intpos:
+            raise InvariantViolationError("slot-tree-heir", "heir cannot hold an internal")
+        old = self._heir[owner]
+        self._heir[owner] = new_heir
+        return tuple(t for t in (old, new_heir) if t != NIL)
+
+    def exclude_from_assignment(self, owner: int, busy: Set[int]) -> Tuple[int, ...]:
+        """Re-assign internal positions away from ``busy`` stand-ins."""
+        touched: List[int] = []
+
+        def free_pool() -> List[int]:
+            heir = self._heir[owner]
+            return [
+                s
+                for s in sorted(self.stand_ins(owner))
+                if s != heir and (owner, s) not in self._intpos and s not in busy
+            ]
+
+        if self._heir[owner] in busy:
+            pool = free_pool()
+            if not pool:
+                raise InvariantViolationError(
+                    "slot-tree-exclusion", "no free stand-in to take heir-ness"
+                )
+            touched.extend(self.set_heir(owner, pool[0]))
+        for sim in [s for s in self.internal_sims(owner) if s in busy]:
+            pool = free_pool()
+            if not pool:
+                raise InvariantViolationError(
+                    "slot-tree-exclusion", "no free stand-in for internal position"
+                )
+            node = self._intpos.pop((owner, sim))
+            self.wval[node] = pool[0]
+            self._intpos[(owner, pool[0])] = node
+            touched.extend([sim, pool[0]])
+            touched.extend(self._around(node))
+        return self._touched_filter(owner, touched)
+
+    # ------------------------------------------------------------------
+    # object view / validation
+    # ------------------------------------------------------------------
+    def to_slot_tree(self, owner: int) -> SlotTree:
+        """Materialize an object SlotTree preserving positions (the
+        ``will_of`` thin-view contract — equivalent to SlotTree.clone)."""
+        out = SlotTree([], branching=self.branching)
+        heir = self._heir[owner]
+        out._heir = None if heir == NIL else heir
+        root = self._root[owner]
+        if root != NIL:
+            out._root = self._to_pos(root, out, None)
+        return out
+
+    def _to_pos(self, pos: int, into: SlotTree, parent: Optional[_Internal]):
+        if self.wkind[pos] == W_LEAF:
+            leaf = _Leaf(self.wval[pos], parent)
+            into._leaves[self.wval[pos]] = leaf
+            return leaf
+        node = _Internal(self.wval[pos], [])
+        node.parent = parent
+        into._internal_by_sim[self.wval[pos]] = node
+        node.children = [self._to_pos(c, into, node) for c in self._children(pos)]
+        return node
+
+    def check(self, owner: int) -> None:
+        """Validate one will's invariants (SlotTree.check + flat links)."""
+        root = self._root[owner]
+        heir = self._heir[owner]
+        my_leaves = {s for (o, s) in self._leafpos if o == owner}
+        my_internals = {s for (o, s) in self._intpos if o == owner}
+        if root == NIL:
+            if my_leaves or my_internals or heir != NIL:
+                raise InvariantViolationError("slot-tree-empty", "stale entries")
+            return
+        seen: List[int] = []
+        self._collect_leaves(root, seen)
+        if sorted(seen) != sorted(my_leaves):
+            raise InvariantViolationError("slot-tree-leaves", "leaf index mismatch")
+        if heir not in my_leaves:
+            raise InvariantViolationError("slot-tree-heir", f"heir {heir} not a leaf")
+        if heir in my_internals:
+            raise InvariantViolationError("slot-tree-heir", "heir holds an internal position")
+        internals = self._collect_internals(owner)
+        if len(internals) != len(my_internals):
+            raise InvariantViolationError("slot-tree-internals", "index mismatch")
+        for pos in internals:
+            sim = self.wval[pos]
+            kids = self._children(pos)
+            if len(kids) != self.wnchild[pos]:
+                raise InvariantViolationError("flat-will-nchild", str(sim))
+            if not 2 <= len(kids) <= self.branching:
+                raise InvariantViolationError(
+                    "slot-tree-arity", f"internal {sim} has {len(kids)} children"
+                )
+            if sim not in my_leaves:
+                raise InvariantViolationError(
+                    "slot-tree-sim", f"internal sim {sim} is not a live stand-in"
+                )
+            if self._intpos.get((owner, sim)) != pos:
+                raise InvariantViolationError("slot-tree-sim-index", str(sim))
+            prev = NIL
+            for child in kids:
+                if self.wparent[child] != pos:
+                    raise InvariantViolationError("slot-tree-parent-link", str(sim))
+                if self.wprev[child] != prev:
+                    raise InvariantViolationError("flat-will-sib-links", str(sim))
+                prev = child
+            if self.wtail[pos] != prev:
+                raise InvariantViolationError("flat-will-tail", str(sim))

@@ -1,0 +1,1238 @@
+"""The Forgiving Tree engine on flat struct-of-arrays storage.
+
+:class:`FlatForgivingTree` is a *faithful translation* of
+:class:`~repro.core.forgiving_tree.ForgivingTree` onto :class:`~repro.core.flat.FlatCore`
+and :class:`~repro.core.flat.FlatWills`: same healing logic, same orderings
+(child lists, donor BFS, hid-ascending steals, sorted anchor scans), same
+event logs, same synthesized message tallies.  The object engine stays the
+readable reference; this engine is what the hot path runs, and the parity
+wall in ``tests/test_flatcore.py`` asserts the two are structurally
+identical event for event.
+
+What the flat layout buys (the BENCH_churn ladder's flat per-event cost):
+
+* ``alive`` is a zero-copy set view — no O(n) copy per round;
+* ``max_degree_increase`` reads a maintained multiset — no O(n·m) scan;
+* ``degree`` is a maintained counter — no O(m) edge scan;
+* victim/attachment sampling is O(1) via :meth:`sample_alive`;
+* nodes are array rows, so n = 10^6 fits in a few flat arrays instead of
+  millions of Python objects — see :meth:`from_parents` for O(n) bulk
+  construction without an adjacency dict.
+
+Object views are materialized on demand (:meth:`will_of`,
+:meth:`virtual_tree`, :meth:`render`), which is the thin-view contract: the
+test wall, the healer catalog, the harness and the distributed drivers run
+against the same API either way.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .errors import (
+    DuplicateNodeError,
+    InvariantViolationError,
+    NodeNotFoundError,
+    NotATreeError,
+    SimulationOverError,
+)
+from .events import (
+    EdgeAdded,
+    EdgeRemoved,
+    HealReport,
+    HelperCreated,
+    HelperDestroyed,
+    HelperTransferred,
+    LeafWillSent,
+    NodeInserted,
+    WillPortionSent,
+    normalize_wave,
+)
+from .flat import NIL, AliveView, FlatCore, FlatWills
+from .forgiving_tree import (
+    WILL_REBUILD,
+    WILL_SPLICE,
+    TreeInput,
+    _as_adjacency,
+    _check_is_tree,
+    _Tally,
+)
+from .slot_tree import SlotTree
+from .state import HelperState, NodeState
+from .virtual_tree import VirtualTree, VTHelper
+
+
+class FlatForgivingTree:
+    """Self-healing tree on flat storage (see module docstring).
+
+    Drop-in API replacement for :class:`~repro.core.forgiving_tree.ForgivingTree`;
+    the constructor signature, the report stream and every public query
+    behave identically (``alive`` returns a zero-copy set *view* rather
+    than a fresh ``set``, supporting the same set algebra).
+    """
+
+    def __init__(
+        self,
+        tree: TreeInput,
+        root: Optional[int] = None,
+        branching: int = 2,
+        will_mode: str = WILL_SPLICE,
+        strict: bool = False,
+    ) -> None:
+        adjacency = _as_adjacency(tree)
+        if not adjacency:
+            raise NotATreeError("empty tree")
+        root_id = min(adjacency) if root is None else root
+        if root_id not in adjacency:
+            raise NodeNotFoundError(root_id, "root")
+        _check_is_tree(adjacency)
+        self._setup(root_id, branching, will_mode, strict)
+        self.original_degree = {
+            nid: len(neigh) for nid, neigh in adjacency.items()
+        }
+        self.initial_nodes: Set[int] = set(adjacency)
+        self._ever: Set[int] = set(adjacency)  # ids may never be reused
+        self._build(adjacency)
+
+    def _setup(self, root_id: int, branching: int, will_mode: str, strict: bool) -> None:
+        if will_mode not in (WILL_SPLICE, WILL_REBUILD):
+            raise ValueError(f"unknown will_mode {will_mode!r}")
+        if branching < 2:
+            raise ValueError("branching must be >= 2")
+        self.branching = branching
+        self.will_mode = will_mode
+        self.strict = strict
+        self.root_id = root_id
+        self._events: List[object] = []
+        self._c = FlatCore(recorder=None)  # recorder attaches after the build
+        self._w = FlatWills(branching=branching)
+        self._tally = _Tally()
+        self.rounds = 0
+
+    @classmethod
+    def from_parents(
+        cls,
+        parents: Sequence[int],
+        branching: int = 2,
+        will_mode: str = WILL_SPLICE,
+        strict: bool = False,
+    ) -> "FlatForgivingTree":
+        """Bulk-build from a parent array (node i's parent; -1 at the root).
+
+        O(n) with no adjacency dict — the constructor the n = 10^6 scaling
+        ladder uses.  Produces exactly the structure the adjacency
+        constructor would: per-parent children come out id-ascending, the
+        BFS attach order matches ``_build``, and the wills are identical.
+        """
+        n = len(parents)
+        if n == 0:
+            raise NotATreeError("empty tree")
+        root = -1
+        count = [0] * n
+        for i in range(n):
+            p = parents[i]
+            if p == -1:
+                if root != -1:
+                    raise NotATreeError("two roots in parent array")
+                root = i
+            elif 0 <= p < n:
+                count[p] += 1
+            else:
+                raise NodeNotFoundError(p, "parent array")
+        if root == -1:
+            raise NotATreeError("no root in parent array")
+
+        # Counting sort children by parent; filling in ascending child id
+        # leaves each parent's children sorted ascending (Algorithm 3.5's
+        # sort for free).
+        offset = [0] * (n + 1)
+        for i in range(n):
+            offset[i + 1] = offset[i] + count[i]
+        cursor = list(offset[:n])
+        childarr = [0] * (n - 1) if n > 1 else []
+        for i in range(n):
+            p = parents[i]
+            if p != -1:
+                childarr[cursor[p]] = i
+                cursor[p] += 1
+
+        self = cls.__new__(cls)
+        self._setup(root, branching, will_mode, strict)
+        self.original_degree = {
+            i: count[i] + (0 if i == root else 1) for i in range(n)
+        }
+        self.initial_nodes = set(range(n))
+        self._ever = set(range(n))
+
+        c, w = self._c, self._w
+        c.reserve(n + max(16, n // 8))
+        w.reserve(2 * n + 16)
+        for i in range(n):
+            c.add_real(i, original_degree=self.original_degree[i])
+        c.set_root(c.real(root))
+        queue = deque([root])
+        while queue:
+            nid = queue.popleft()
+            parent_slot = c.real(nid)
+            kids = childarr[offset[nid] : offset[nid + 1]]
+            for kid in kids:
+                c.attach(c.real(kid), parent_slot)
+                queue.append(kid)
+            w.build(nid, kids)
+        # cycles unreachable from the root would leave nodes unattached
+        for i in range(n):
+            if i != root and c.parent[c.real(i)] == NIL:
+                raise NotATreeError("parent array contains a cycle")
+        c.recorder = self._events.append
+        return self
+
+    def _build(self, adjacency: Mapping[int, Sequence[int]]) -> None:
+        c, w = self._c, self._w
+        n = len(adjacency)
+        c.reserve(n + max(16, n // 8))
+        w.reserve(2 * n + 16)
+        for nid in adjacency:
+            c.add_real(nid, original_degree=self.original_degree[nid])
+        c.set_root(c.real(self.root_id))
+        seen = {self.root_id}
+        queue = deque([self.root_id])
+        while queue:
+            nid = queue.popleft()
+            parent_slot = c.real(nid)
+            kids = sorted(k for k in adjacency[nid] if k not in seen)
+            for kid in kids:
+                seen.add(kid)
+                c.attach(c.real(kid), parent_slot)
+                queue.append(kid)
+            w.build(nid, kids)
+        c.recorder = self._events.append
+
+    # ------------------------------------------------------------------
+    # public queries
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> AliveView:
+        """Ids of surviving nodes (zero-copy live set view)."""
+        return self._c.alive_view()
+
+    def __len__(self) -> int:
+        return len(self._c)
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._c
+
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """Current healed overlay (image graph) adjacency."""
+        return self._c.image_adjacency()
+
+    def edges(self) -> Set[Tuple[int, int]]:
+        """Current healed overlay edges (canonical pairs)."""
+        return self._c.image_edges()
+
+    def degree(self, nid: int) -> int:
+        """Current degree of ``nid`` in the healed overlay — O(1)."""
+        return self._c.image_degree(nid)
+
+    def degree_increase(self, nid: int) -> int:
+        """Current degree minus original degree (Theorem 1.1 quantity)."""
+        return self.degree(nid) - self.original_degree[nid]
+
+    def max_degree_increase(self) -> int:
+        """``max_v degree(v, G_t) - degree(v, G_0)`` over survivors — O(1)."""
+        return self._c.max_degree_increase()
+
+    def sample_alive(self, rng) -> int:
+        """Uniform surviving node id in O(1) (ladder-scale victim picks)."""
+        return self._c.sample_alive(rng)
+
+    def state_of(self, nid: int) -> NodeState:
+        """Wait/Ready/Deployed snapshot for ``nid`` (Figure 3)."""
+        if nid not in self._c:
+            raise NodeNotFoundError(nid, "state_of")
+        role = self._c.role_of(nid)
+        if role == NIL:
+            return NodeState(nid, HelperState.WAIT, False, False, 0)
+        nkids = self._c.nchild[role]
+        if nkids == 1:
+            return NodeState(nid, HelperState.READY, True, True, 1)
+        return NodeState(nid, HelperState.DEPLOYED, True, False, nkids)
+
+    def will_of(self, nid: int) -> SlotTree:
+        """A copy of ``nid``'s current will blueprint (object view)."""
+        if not self._w.has(nid):
+            raise KeyError(nid)
+        return self._w.to_slot_tree(nid)
+
+    def heir_of(self, nid: int) -> Optional[int]:
+        """Current heir designated by ``nid`` (None for tree leaves)."""
+        if not self._w.has(nid):
+            raise KeyError(nid)
+        return self._w.heir(nid)
+
+    def virtual_tree(self) -> VirtualTree:
+        """An object :class:`VirtualTree` snapshot of the flat structure.
+
+        Unlike the object engine (which returns its live internal tree)
+        this materializes a fresh view — same shape, same hids, same sims,
+        same image counter.  Read it, do not mutate it.
+        """
+        c = self._c
+        vt = VirtualTree()
+        for nid in c._reals:
+            vt.add_real(nid)
+        nodes: Dict[int, object] = {}
+        for slot in c.iter_slots():
+            if c.is_real(slot):
+                nodes[slot] = vt._reals[c.ident[slot]]
+            else:
+                helper = VTHelper(c.ident[slot], c.sim[slot])
+                vt._helpers[helper.hid] = helper
+                vt._role[helper.sim] = helper
+                nodes[slot] = helper
+        for slot in c.iter_slots():
+            for child in c.children(slot):
+                vt.attach(nodes[child], nodes[slot])
+        if c.root != NIL:
+            vt.set_root(nodes[c.root])
+        vt._hid_counter = c._hid_counter
+        # dict orders match the live engine: hids ascending, reals by age
+        vt._helpers = dict(sorted(vt._helpers.items()))
+        return vt
+
+    def render(self) -> str:
+        """ASCII view of the virtual tree (helpers bracketed)."""
+        return self.virtual_tree().render()
+
+    def image_edge_array(self):
+        """Current overlay edges as an (m, 2) int64 numpy array.
+
+        Optional-numpy export for vectorized analysis at ladder scale;
+        falls back to a flat ``array('q')`` of 2m ints when numpy is
+        unavailable.
+        """
+        flat_pairs = [x for e in self._c._image for x in e]
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - numpy is in the image
+            from array import array as _array
+
+            return _array("q", flat_pairs)
+        return np.array(flat_pairs, dtype=np.int64).reshape(-1, 2)
+
+    def check(self) -> None:
+        """Validate every invariant of the structure; raise on violation.
+
+        Covers everything the object engine's checker covers, plus the
+        flat-only bookkeeping (free lists, linked child lists, maintained
+        counters) and the object-view builders themselves.
+        """
+        c, w = self._c, self._w
+        c.check(branching=self.branching)
+        self.virtual_tree().check(branching=self.branching)
+        for nid, slot in c._reals.items():
+            if c.inc[slot] != c.imgdeg[slot] - self.original_degree[nid]:
+                raise InvariantViolationError(
+                    "flat-origdeg", f"node {nid}: inc diverged from original_degree"
+                )
+        for nid in list(w._root):
+            w.check(nid)
+            real = c.real(nid)
+            stand_ins = {c.owner(child) for child in c.children(real)}
+            will_slots = set(w.stand_ins(nid))
+            if stand_ins != will_slots:
+                raise InvariantViolationError(
+                    "will-slots",
+                    f"node {nid}: will {sorted(will_slots)} vs VT {sorted(stand_ins)}",
+                )
+            for child in c.children(real):
+                if c.is_helper(child):
+                    if self.branching == 2 and c.nchild[child] != 1:
+                        raise InvariantViolationError(
+                            "I3-ready-heir-slot",
+                            f"helper slot under {nid} has {c.nchild[child]} children",
+                        )
+                else:
+                    role = c.role_of(c.ident[child])
+                    if (
+                        self.branching == 2
+                        and role != NIL
+                        and not (c.nchild[role] == 1 and c.head[role] == child)
+                    ):
+                        raise InvariantViolationError(
+                            "I4-plain-child-role",
+                            f"real child {c.ident[child]} of {nid} holds a non-vacuous role",
+                        )
+
+    # ------------------------------------------------------------------
+    # the healing entry point
+    # ------------------------------------------------------------------
+    def delete(self, nid: int) -> HealReport:
+        """Adversary deletes ``nid``; heal and report (Algorithm 3.1)."""
+        c = self._c
+        if not c._reals:
+            raise SimulationOverError("all nodes already deleted")
+        real = c.real(nid)
+        c.begin_event()
+        self._events = []
+        c.recorder = self._events.append
+        self._tally = _Tally()
+
+        was_internal = c.nchild[real] > 0
+        if was_internal:
+            self._fix_node_deletion(real)
+        else:
+            self._fix_leaf_deletion(real)
+        self.rounds += 1
+
+        added = frozenset(e.key() for e in self._events if isinstance(e, EdgeAdded))
+        removed = frozenset(e.key() for e in self._events if isinstance(e, EdgeRemoved))
+        report = HealReport(
+            deleted=nid,
+            was_internal=was_internal,
+            edges_added=added - removed,
+            edges_removed=removed - added,
+            events=tuple(self._events),
+            messages_per_node=dict(self._tally.sent),
+        )
+        if self.strict:
+            self.check()
+        return report
+
+    # ------------------------------------------------------------------
+    # the insertion entry point (churn model, after "The Forgiving Graph")
+    # ------------------------------------------------------------------
+    def insert(self, nid: int, attach_to: int) -> HealReport:
+        """A new node joins, attached to live ``attach_to`` (wave of one)."""
+        return self.insert_batch([(nid, attach_to)])
+
+    def insert_batch(self, joiners: Iterable[Tuple[int, int]]) -> HealReport:
+        """A wave of nodes joins in one round, amortizing will rebuilds."""
+        c, w = self._c, self._w
+        wave = normalize_wave(joiners, known_ids=self._ever, alive=c)
+
+        c.begin_event()
+        self._events = []
+        c.recorder = self._events.append
+        self._tally = _Tally()
+
+        groups: Dict[int, List[int]] = {}
+        for nid, attach_to in wave:
+            groups.setdefault(attach_to, []).append(nid)
+
+        for attach_to, group in groups.items():
+            parent = c.real(attach_to)
+            for nid in group:
+                self._tally.send(nid, 1)  # join request to the attachment point
+            if c.nchild[parent] == 0 and self._leaf_will_holder(parent) is not None:
+                # The attachment point stops being a tree leaf: it
+                # retracts its deposited leaf will (once per wave).
+                self._tally.send(attach_to, 1)
+            for nid in group:
+                self._events.append(NodeInserted(nid, attach_to))
+                node = c.add_real(nid, original_degree=1)
+                c.attach(node, parent)
+                self._ever.add(nid)
+                w.build(nid, [])
+                self._tally.send(attach_to, 1)  # join ack (parent-link handshake)
+                self.original_degree[nid] = 1
+                self.original_degree[attach_to] += 1
+                c.bump_original_degree(attach_to)
+            delta = w.add_batch(attach_to, group)
+            # One portion pass for the whole group: the union of touched
+            # slots, plus the heir and the SubRT root (their portions
+            # embed cross-refs) — each retransmitted exactly once.
+            targets = set(delta.touched)
+            heir = w.heir(attach_to)
+            if heir is not None:
+                targets.add(heir)
+            targets.add(w.root_sim(attach_to))
+            for t in sorted(s for s in targets if w.contains(attach_to, s)):
+                self._events.append(WillPortionSent(attach_to, t))
+                self._tally.send(attach_to, 1)
+            for nid in group:
+                # Each joiner is a tree leaf: it deposits its leaf will.
+                self._events.append(LeafWillSent(nid, attach_to))
+                self._tally.send(nid, 1)
+        self.rounds += 1
+
+        added = frozenset(e.key() for e in self._events if isinstance(e, EdgeAdded))
+        report = HealReport(
+            deleted=-1,
+            was_internal=False,
+            edges_added=added,
+            edges_removed=frozenset(),
+            events=tuple(self._events),
+            messages_per_node=dict(self._tally.sent),
+            inserted=wave[0][0] if len(wave) == 1 else None,
+            attached_to=wave[0][1] if len(wave) == 1 else None,
+            inserted_batch=tuple(wave),
+        )
+        if self.strict:
+            self.check()
+        return report
+
+    def _leaf_will_holder(self, real: int) -> Optional[int]:
+        """Where a tree leaf's leaf will is deposited (None: nowhere)."""
+        c = self._c
+        nid = c.ident[real]
+        pos = c.parent[real]
+        while pos != NIL and c.owner(pos) == nid:
+            pos = c.parent[pos]
+        if pos != NIL:
+            return c.owner(pos)
+        role = c.role_of(nid)
+        if role != NIL:
+            for child in c.children(role):
+                if c.owner(child) != nid:
+                    return c.owner(child)
+        return None
+
+    # ------------------------------------------------------------------
+    # FixNodeDeletion (Algorithm 3.3 + makeRT 3.8 + MakeHelper 3.9)
+    # ------------------------------------------------------------------
+    def _fix_node_deletion(self, real: int) -> None:
+        c, w = self._c, self._w
+        v = c.ident[real]
+        # Snapshot the will before discarding it (the object engine pops
+        # the SlotTree object and keeps reading it; positions free here).
+        will_stand_ins = w.stand_ins(v)
+        specs = w.internal_specs(v)
+        heir = w.heir(v)
+        will_root_sim = w.root_sim(v) if will_stand_ins else None
+        w.discard(v)
+
+        # A vacuous ready heir directly above v (its only child is v itself)
+        # is bookkeeping fiction equivalent to holding no role: drop it.
+        role = c.role_of(v)
+        if role != NIL and c.nchild[role] == 1 and c.head[role] == real:
+            self._record_destroy(role)
+            c.splice(role)
+            role = NIL
+
+        parent_pos = c.parent[real]
+
+        # --- anchor resolution (makeRT): bypass ready-heir slots ---------
+        anchors: Dict[int, int] = {}
+        for child in c.children(real):
+            stand_in = c.owner(child)
+            if c.is_real(child):
+                child_role = c.role_of(c.ident[child])
+                if child_role != NIL and self.branching == 2:
+                    # The binary protocol never reaches this (invariant I4).
+                    raise InvariantViolationError(
+                        "I4-plain-child-role",
+                        f"child {c.ident[child]} of dying {v} holds a role",
+                    )
+                c.detach(child)
+                anchors[stand_in] = child
+            elif c.nchild[child] == 1:
+                sub = c.head[child]
+                c.detach(sub)
+                c.detach(child)
+                self._record_destroy(child)
+                c.destroy_helper(child)  # frees its simulator (= stand_in)
+                anchors[stand_in] = sub
+                self._tally.send(stand_in, 2)  # bypass brokerage intros
+            else:
+                # Generalized-b only: a wide helper slot stays in place as
+                # the anchor; its simulator remains busy simulating it and
+                # is excluded from new duties by ``resolve_sim`` below.
+                if self.branching == 2:
+                    raise InvariantViolationError(
+                        "I3-ready-heir-slot",
+                        f"slot helper under dying {v} has {c.nchild[child]} children",
+                    )
+                c.detach(child)
+                anchors[stand_in] = child
+        if set(anchors) != set(will_stand_ins):
+            raise InvariantViolationError(
+                "will-slots",
+                f"dying {v}: anchors {sorted(anchors)} vs will {sorted(will_stand_ins)}",
+            )
+
+        # Donors must avoid the dying node, the stand-ins with *pending
+        # duties* in this deployment (the planned internal simulators and
+        # the heir — other stand-ins are fair game), and — when the parent
+        # is real — the parent and its stand-ins (a will may never list
+        # its owner or a duplicate).
+        assert heir is not None
+        base_exclude = {v, heir} | {spec.sim for spec in specs}
+        collision_set: Set[int] = set()
+        if parent_pos != NIL and c.is_real(parent_pos):
+            parent_nid = c.ident[parent_pos]
+            collision_set.add(parent_nid)
+            if w.has(parent_nid):
+                collision_set |= set(w.stand_ins(parent_nid)) - {v}
+            base_exclude |= collision_set
+
+        # Helpers that must survive donor stealing while this repair runs.
+        pinned = tuple(
+            x
+            for x in (parent_pos, role, *anchors.values())
+            if x != NIL and c.is_helper(x)
+        )
+
+        # Bypassing slots may have destroyed v's own role (generalized-b:
+        # a donor grant can make v simulate one of its own slot helpers).
+        if role != NIL and c.role_of(v) == NIL:
+            role = NIL
+        # A wide slot still simulated by the dying node must move first.
+        if (
+            self.branching > 2
+            and role != NIL
+            and any(role == a for a in anchors.values())
+        ):
+            try:
+                donor: Optional[int] = self._find_donor(
+                    real, exclude=set(base_exclude), pinned=pinned
+                )
+            except InvariantViolationError as exc:
+                if exc.invariant != "donor" or c.nchild[role] != 1:
+                    raise
+                # Simulator exhaustion: a one-child anchor helper can be
+                # dropped in place, its child becoming the anchor.
+                sub = c.head[role]
+                c.detach(sub)
+                for s, a in list(anchors.items()):
+                    if a == role:
+                        anchors[s] = sub
+                self._record_destroy(role)
+                c.destroy_helper(role)
+                donor = None
+            if donor is not None:
+                old = c.transfer_role(role, donor)
+                self._events.append(HelperTransferred(c.ident[role], old, donor))
+                self._tally.send(donor, c.nchild[role] + 1)
+            role = NIL
+
+        # --- duty-sim resolution ------------------------------------------
+        # The will plans each helper position's simulator.  In the binary
+        # protocol every planned stand-in is guaranteed free; the
+        # generalized tree substitutes a donor at deployment time when a
+        # planned stand-in is still simulating elsewhere.
+        used_donors: Set[int] = set()
+
+        def steal_from_anchors(extra: Set[int] = frozenset()) -> Optional[int]:
+            """Last-resort simulator source: a one-child helper anchor can
+            be dropped in place (its child becomes the anchor), freeing its
+            simulator.  Keeps the anchors map coherent."""
+            for s in sorted(anchors):
+                a = anchors[s]
+                if (
+                    c.is_helper(a)
+                    and c.nchild[a] == 1
+                    and c.sim[a] not in base_exclude
+                    and c.sim[a] not in used_donors
+                    and c.sim[a] not in extra
+                ):
+                    sub = c.head[a]
+                    c.detach(sub)
+                    anchors[s] = sub
+                    freed = c.sim[a]
+                    self._record_destroy(a)
+                    c.destroy_helper(a)
+                    self._tally.send(freed, 2)
+                    return freed
+            return None
+
+        def find_duty_donor() -> int:
+            try:
+                return self._find_donor(
+                    real, exclude=base_exclude | used_donors, pinned=pinned
+                )
+            except InvariantViolationError as exc:
+                if exc.invariant != "donor":
+                    raise
+                stolen = steal_from_anchors()
+                if stolen is None:
+                    raise
+                return stolen
+
+        def rebind_parent() -> None:
+            nonlocal parent_pos, pinned
+            parent_pos = c.parent[real]
+            pinned = tuple(
+                x
+                for x in (parent_pos, role, *anchors.values())
+                if x != NIL and c.is_helper(x)
+            )
+
+        def free_busy_sim(planned: int) -> bool:
+            """Endgame fallback: ``planned`` is stuck simulating a
+            redundant one-child helper — bypass that helper so the
+            planned simulator can take up its own duty (see the object
+            engine for the full why)."""
+            busy = c.role_of(planned)
+            if busy == NIL or c.nchild[busy] != 1:
+                return False
+            if busy == parent_pos:
+                if self._splice_helper(busy) is None:
+                    return False
+                rebind_parent()
+                return True
+            for s in sorted(anchors):
+                if anchors[s] == busy:
+                    sub = c.head[busy]
+                    c.detach(sub)
+                    anchors[s] = sub
+                    self._record_destroy(busy)
+                    c.destroy_helper(busy)
+                    self._tally.send(planned, 2)
+                    return True
+            if busy in pinned:
+                return False
+            return self._splice_helper(busy) is not None
+
+        def resolve_sim(planned: int) -> int:
+            if (
+                c.role_of(planned) == NIL
+                and planned not in used_donors
+                and planned not in collision_set
+            ):
+                return planned
+            if self.branching == 2:
+                raise InvariantViolationError(
+                    "I4-plain-child-role", f"planned sim {planned} is busy"
+                )
+            if (
+                planned not in used_donors
+                and planned not in collision_set
+                and free_busy_sim(planned)
+            ):
+                return planned
+            donor = find_duty_donor()
+            used_donors.add(donor)
+            self._tally.send(planned, 1)  # redirects its duty to the donor
+            return donor
+
+        # --- build and wire the SubRT helpers (GenerateSubRT shape) ------
+        new_helpers: Dict[int, int] = {}
+        for spec in specs:
+            sim = resolve_sim(spec.sim)
+            helper = c.new_helper(sim)
+            new_helpers[spec.sim] = helper  # keyed by *planned* sim
+            self._events.append(HelperCreated(sim, c.ident[helper], ready_heir=False))
+            self._tally.send(sim, 1)  # claims its role to neighbors
+        for spec in specs:
+            helper = new_helpers[spec.sim]
+            for ref in spec.children:
+                kind, key = ref
+                node = anchors[key] if kind == "leaf" else new_helpers[key]
+                c.attach(node, helper)
+
+        def subrt_root() -> int:
+            # Late-bound on purpose: donor stealing (steal_from_anchors)
+            # may still replace a one-child anchor by its child between
+            # here and the top attachment.
+            return (
+                new_helpers[will_root_sim]
+                if new_helpers
+                else anchors[will_stand_ins[0]]
+            )
+
+        # --- top attachment -----------------------------------------------
+        if role != NIL:
+            # v had helper duties: its heir inherits them, and the root of
+            # SubRT(v) takes v's place below v's parent (MakeWill lines 9-12).
+            role_exclusions = self._donor_exclusions(role)
+            inheritor: Optional[int] = None
+            if (
+                c.role_of(heir) == NIL
+                and heir not in used_donors
+                and heir not in role_exclusions
+            ):
+                inheritor = heir
+            elif (
+                self.branching > 2
+                and heir not in used_donors
+                and heir not in role_exclusions
+                and free_busy_sim(heir)
+            ):
+                inheritor = heir
+            else:
+                if self.branching == 2:
+                    raise InvariantViolationError(
+                        "I4-plain-child-role", f"heir {heir} cannot inherit from {v}"
+                    )
+                try:
+                    inheritor = self._find_donor(
+                        real,
+                        exclude=base_exclude | used_donors | role_exclusions,
+                        pinned=pinned,
+                    )
+                except InvariantViolationError as exc:
+                    if exc.invariant != "donor":
+                        raise
+                    inheritor = steal_from_anchors(extra=role_exclusions)
+                    # Simulator exhaustion (endgame): a one-child role can
+                    # simply be short-circuited instead of inherited.
+                    if inheritor is None:
+                        if (
+                            c.nchild[role] == 1
+                            and self._splice_helper(role) is not None
+                        ):
+                            role = NIL
+                        else:
+                            raise
+                if inheritor is not None:
+                    used_donors.add(inheritor)
+        if role != NIL:
+            assert inheritor is not None
+            old_sim = c.transfer_role(role, inheritor)
+            self._events.append(HelperTransferred(c.ident[role], old_sim, inheritor))
+            self._tally.send(inheritor, c.nchild[role] + 1)  # introduces itself
+            rv = subrt_root()
+            if parent_pos == NIL:
+                # Generalized-b only: a donor-granted role on the root.
+                if self.branching == 2:
+                    raise InvariantViolationError("root-role", "root held a helper role")
+                c.set_root(NIL)
+                c.set_root(rv)
+            else:
+                if c.is_real(parent_pos) and self.branching == 2:
+                    raise InvariantViolationError(
+                        "I4-parent-kind", f"dying {v} holds a role but has a real parent"
+                    )
+                c.replace_child(parent_pos, real, rv)
+                if c.is_real(parent_pos):
+                    self._replace_slot_standin(
+                        parent_pos, v, rv, exclude=base_exclude | used_donors
+                    )
+            # If the inherited helper occupies a slot in a real parent's
+            # will, the stand-in there must follow the new simulator.
+            self._notify_standin_change(role, v, inheritor)
+        if role == NIL:
+            # v had no helper duties: the heir interposes a fresh one-child
+            # helper — the ready heir (MakeWill lines 13-16).
+            try:
+                ready_sim: Optional[int] = resolve_sim(heir)
+            except InvariantViolationError as exc:
+                if exc.invariant != "donor" or self.branching == 2:
+                    raise
+                # Simulator exhaustion (endgame): the ready heir is a
+                # structural optimization, not a necessity — skip it and
+                # attach the SubRT root directly.
+                ready_sim = None
+            rv = subrt_root()
+            if ready_sim is None:
+                if parent_pos == NIL:
+                    c.set_root(NIL)
+                    c.set_root(rv)
+                else:
+                    c.replace_child(parent_pos, real, rv)
+                    if c.is_real(parent_pos):
+                        self._replace_slot_standin(
+                            parent_pos, v, rv, exclude=base_exclude | used_donors
+                        )
+                    else:
+                        self._tally.send(c.owner(parent_pos), 1)
+            else:
+                ready = c.new_helper(ready_sim)
+                self._events.append(
+                    HelperCreated(ready_sim, c.ident[ready], ready_heir=True)
+                )
+                self._tally.send(ready_sim, 2)
+                if parent_pos == NIL:
+                    # v was the root: the ready heir becomes the virtual root.
+                    c.set_root(NIL)  # real is still registered; re-root below
+                    c.attach(rv, ready)
+                    c.set_root(ready)
+                else:
+                    c.replace_child(parent_pos, real, ready)
+                    c.attach(rv, ready)
+                # The parent must treat the heir as its child (Algorithm 3.3
+                # lines 3-6: "hparent(h) replaces v by h in SubRT(...)").
+                if parent_pos != NIL and c.is_real(parent_pos):
+                    self._replace_slot_standin(
+                        parent_pos, v, ready, exclude=base_exclude | used_donors
+                    )
+                elif parent_pos != NIL:
+                    # Helper parent: its simulator's hchildren field changes.
+                    self._tally.send(c.owner(parent_pos), 1)
+
+        c.remove_real(real)
+        self._refresh_leaf_wills(anchors)
+
+    # ------------------------------------------------------------------
+    # FixLeafDeletion (Algorithm 3.4 + MakeLeafWill 3.7)
+    # ------------------------------------------------------------------
+    def _fix_leaf_deletion(self, real: int) -> None:
+        c, w = self._c, self._w
+        v = c.ident[real]
+        if w.has(v):
+            w.discard(v)
+        role = c.role_of(v)
+        parent_pos = c.parent[real]
+
+        if parent_pos == NIL:
+            # v is the virtual root and childless: the network empties.
+            if role != NIL:
+                raise InvariantViolationError("root-role", "childless root with a role")
+            c.remove_real(real)
+            return
+
+        c.detach(real)
+
+        if role == NIL:
+            self._absorb_child_loss(parent_pos, lost_stand_in=v)
+        elif role == parent_pos:
+            # v's own helper sits directly above it (Algorithm 3.7's special
+            # case).  Image-equivalent resolution: short-circuit it.
+            remaining = c.nchild[role]
+            if remaining == 0:
+                # vacuous ready heir: vanish and cascade the slot loss.
+                grand = c.detach(role)
+                self._record_destroy(role)
+                c.destroy_helper(role)
+                if grand != NIL:
+                    self._absorb_child_loss(grand, lost_stand_in=v)
+            else:
+                spliced = None
+                if remaining == 1:
+                    spliced = self._splice_helper(role)
+                if spliced is None:
+                    # branching > 2 only: the helper keeps its children but
+                    # its simulator died; find a donor to take it over.
+                    donor = self._find_donor(
+                        role,
+                        exclude={v} | self._donor_exclusions(role),
+                        pinned=(role, parent_pos),
+                    )
+                    old = c.transfer_role(role, donor)
+                    self._events.append(HelperTransferred(c.ident[role], old, donor))
+                    self._tally.send(donor, c.nchild[role] + 1)
+                    self._notify_standin_change(role, old, donor)
+        else:
+            # Non-adjacent helper duties: the leaf will (Algorithm 3.7) hands
+            # them to the parent, who short-circuits its own helper first
+            # (Algorithm 3.4 lines 7-16).
+            freed: Optional[int] = None
+            cascade_to = NIL
+            cascade_standin = 0
+            if c.is_real(parent_pos):
+                if self.branching == 2:
+                    raise InvariantViolationError(
+                        "I4-leaf-parent",
+                        f"leaf {v} holds a non-adjacent role under a real parent",
+                    )
+                # Generalized-b: a busy plain child died; the parent's will
+                # just loses the slot and the role finds a donor below.
+                self._absorb_child_loss(parent_pos, lost_stand_in=v)
+            else:
+                remaining = c.nchild[parent_pos]
+                if remaining == 0:
+                    cascade_to = c.detach(parent_pos)
+                    freed = c.sim[parent_pos]
+                    cascade_standin = freed
+                    self._record_destroy(parent_pos)
+                    c.destroy_helper(parent_pos)
+                    if cascade_to != NIL and c.is_real(cascade_to):
+                        # A real grandparent's slot loss is pure will
+                        # bookkeeping (no splicing), so absorb it now (see
+                        # the object engine for the endgame why).
+                        self._absorb_child_loss(
+                            cascade_to, lost_stand_in=cascade_standin
+                        )
+                        cascade_to = NIL
+                elif remaining == 1:
+                    # bypass(z): short-circuit the parent's helper, freeing
+                    # its simulator to inherit the leaf will.
+                    if self._splice_helper(parent_pos) is not None:
+                        freed = c.sim[parent_pos]
+            # Does anything real remain below the role?  (b > 2 endgame:
+            # the dying leaf may have been the only real node under a
+            # chain of helpers hanging off the role — the remaining
+            # subtree routes nothing and vanishes instead of being
+            # inherited; the role's own slot loss cascades upward.)
+            doomed: List[int] = []
+            stack: List[int] = [role]
+            while stack:
+                node = stack.pop()
+                if c.is_real(node):
+                    doomed.clear()
+                    break
+                doomed.append(node)  # parents precede their children
+                stack.extend(c.children(node))
+            if doomed:
+                sim = c.sim[role]
+                grand = c.detach(role)
+                for helper in reversed(doomed):  # children first
+                    if c.parent[helper] != NIL:
+                        c.detach(helper)
+                    self._record_destroy(helper)
+                    c.destroy_helper(helper)
+                c.remove_real(real)
+                if grand != NIL:
+                    self._absorb_child_loss(grand, lost_stand_in=sim)
+                return
+            if (
+                freed is None
+                or freed == v
+                or c.role_of(freed) != NIL
+                or self._standin_collision(role, freed)
+            ):
+                freed = self._find_donor(
+                    role,
+                    exclude={v} | self._donor_exclusions(role),
+                    pinned=(role, parent_pos),
+                )
+            old = c.transfer_role(role, freed)
+            self._events.append(HelperTransferred(c.ident[role], old, freed))
+            self._tally.send(freed, c.nchild[role] + 1)
+            self._notify_standin_change(role, old, freed)
+            # Cascade only after the inheritance settled: the cascade may
+            # legitimately splice the very helper just inherited, and the
+            # donor search may already have absorbed the loss by stealing
+            # (splicing) the cascade target.
+            if (
+                not c.is_real(parent_pos)
+                and cascade_to != NIL
+                and (c.is_real(cascade_to) or c.helper_alive(cascade_to))
+            ):
+                self._absorb_child_loss(cascade_to, lost_stand_in=cascade_standin)
+
+        c.remove_real(real)
+
+    # ------------------------------------------------------------------
+    # cascading slot loss ("short-circuit" of redundant virtual nodes)
+    # ------------------------------------------------------------------
+    def _absorb_child_loss(self, node: int, lost_stand_in: int) -> None:
+        """``node`` lost one child slot entirely (see the object engine)."""
+        c = self._c
+        if c.is_real(node):
+            self._will_remove(c.ident[node], lost_stand_in)
+            return
+        remaining = c.nchild[node]
+        if remaining == 0:
+            grand = c.detach(node)
+            sim = c.sim[node]
+            self._record_destroy(node)
+            c.destroy_helper(node)
+            if grand != NIL:
+                self._absorb_child_loss(grand, lost_stand_in=sim)
+        elif remaining == 1:
+            # Helpers never *gain* children, so a helper at one child was at
+            # two: it is a redundant virtual node — short-circuit it.
+            self._splice_helper(node)
+        # else: still >= 2 children: nothing to do.
+
+    # ------------------------------------------------------------------
+    # will maintenance
+    # ------------------------------------------------------------------
+    def _will_remove(self, p: int, stand_in: int) -> None:
+        if not self._w.has(p):
+            raise KeyError(p)
+        if self.will_mode == WILL_SPLICE:
+            delta = self._w.remove(p, stand_in)
+            for t in delta.touched:
+                self._events.append(WillPortionSent(p, t))
+                self._tally.send(p, 1)
+        else:
+            self._rebuild_will(p)
+        if self._w.empty(p) and self._c.role_of(p) != NIL:
+            # p just became a tree leaf with helper duties: deposit LeafWill.
+            self._send_leaf_will(p)
+
+    def _will_replace(self, p: int, old: int, new: int) -> None:
+        if not self._w.has(p):
+            raise KeyError(p)
+        if self.will_mode == WILL_SPLICE:
+            delta = self._w.replace(p, old, new)
+            for t in delta.touched:
+                self._events.append(WillPortionSent(p, t))
+                self._tally.send(p, 1)
+        else:
+            self._rebuild_will(p)
+
+    def _rebuild_will(self, p: int) -> None:
+        """Literal Algorithm 3.4 behavior: regenerate and retransmit all."""
+        c = self._c
+        real = c.real(p)
+        stand_ins = [c.owner(child) for child in c.children(real)]
+        self._w.discard(p)
+        self._w.build(p, stand_ins)
+        for s in stand_ins:
+            self._events.append(WillPortionSent(p, s))
+            self._tally.send(p, 1)
+
+    def _refresh_leaf_wills(self, anchors: Mapping[int, int]) -> None:
+        """Children that are tree leaves re-deposit their leaf wills
+        (Algorithms 3.3/3.4, trailing loop)."""
+        c = self._c
+        for stand_in in anchors:
+            if stand_in not in c:
+                continue
+            real = c.real(stand_in)
+            if c.nchild[real] == 0 and c.role_of(stand_in) != NIL:
+                self._send_leaf_will(stand_in)
+
+    def _send_leaf_will(self, nid: int) -> None:
+        c = self._c
+        parent = c.parent[c.real(nid)]
+        if parent == NIL:
+            return
+        recipient = c.owner(parent)
+        if recipient != nid:
+            self._events.append(LeafWillSent(nid, recipient))
+            self._tally.send(nid, 1)
+
+    def _replace_slot_standin(
+        self, parent: int, old: int, slot_node: int, exclude: Set[int]
+    ) -> None:
+        """Rename a slot of ``parent``'s will from ``old`` to the owner of
+        its new occupant, resolving name collisions at use time."""
+        c, w = self._c, self._w
+        parent_nid = c.ident[parent]
+        if not w.has(parent_nid):
+            return
+        new = c.owner(slot_node)
+        if new == old:
+            return
+        collides = new == parent_nid or w.contains(parent_nid, new)
+        if collides:
+            if self.branching == 2:
+                raise InvariantViolationError(
+                    "will-slots", f"stand-in collision at {parent_nid}: {new}"
+                )
+            if c.is_helper(slot_node) and c.sim[slot_node] == new:
+                donor = self._find_donor(parent, exclude=exclude | {new, parent_nid})
+                old_o = c.transfer_role(slot_node, donor)
+                self._events.append(HelperTransferred(c.ident[slot_node], old_o, donor))
+                self._tally.send(donor, c.nchild[slot_node] + 1)
+                new = donor
+            else:
+                other = c.role_of(new)
+                if other == NIL or c.parent[other] != parent:
+                    raise InvariantViolationError(
+                        "will-slots",
+                        f"unresolvable stand-in collision at {parent_nid}: {new}",
+                    )
+                donor = self._find_donor(parent, exclude=exclude | {new, parent_nid})
+                old_o = c.transfer_role(other, donor)
+                self._events.append(HelperTransferred(c.ident[other], old_o, donor))
+                self._tally.send(donor, c.nchild[other] + 1)
+                self._will_replace(parent_nid, new, donor)
+        self._will_replace(parent_nid, old, new)
+
+    def _donor_exclusions(self, helper: int) -> Set[int]:
+        """Stand-ins a donor for ``helper`` must avoid (see object engine)."""
+        c, w = self._c, self._w
+        parent = c.parent[helper]
+        if parent != NIL and c.is_real(parent):
+            parent_nid = c.ident[parent]
+            out = {parent_nid}
+            if w.has(parent_nid):
+                out |= set(w.stand_ins(parent_nid))
+            return out
+        return set()
+
+    def _splice_helper(self, helper: int) -> Optional[int]:
+        """Short-circuit a one-child helper with full will bookkeeping.
+
+        Returns the moved-up child slot, or ``None`` when the splice must
+        be skipped (generalized-b stand-in collision — the redundant
+        helper is then simply kept, which is always legal).
+        """
+        c, w = self._c, self._w
+        moved = c.head[helper]
+        parent = c.parent[helper]
+        sim = c.sim[helper]
+        will_fix: Optional[Tuple[int, int, int]] = None
+        if parent != NIL and c.is_real(parent):
+            parent_nid = c.ident[parent]
+            if w.has(parent_nid) and w.contains(parent_nid, sim):
+                new_standin = c.owner(moved)
+                if new_standin != sim and (
+                    w.contains(parent_nid, new_standin) or new_standin == parent_nid
+                ):
+                    return None  # collision: keep the redundant helper
+                if new_standin != sim:
+                    will_fix = (parent_nid, sim, new_standin)
+        self._record_destroy(helper)
+        c.splice(helper)
+        self._tally.send(sim, 2)
+        if will_fix is not None:
+            self._will_replace(*will_fix)
+        return moved
+
+    def _standin_collision(self, helper: int, candidate: int) -> bool:
+        """Would renaming ``helper``'s will-slot stand-in to ``candidate``
+        collide — with a sibling stand-in, or with the will's own owner?"""
+        c, w = self._c, self._w
+        parent = c.parent[helper]
+        if parent == NIL or not c.is_real(parent):
+            return False
+        parent_nid = c.ident[parent]
+        if candidate == parent_nid:
+            return True  # a will may never list its owner as a stand-in
+        if not w.has(parent_nid):
+            return False
+        return w.contains(parent_nid, candidate) and candidate != c.sim[helper]
+
+    def _notify_standin_change(self, helper: int, old: int, new: int) -> None:
+        """A helper's simulator changed: if the helper occupies a slot of a
+        real parent's will, the will's stand-in must follow."""
+        c = self._c
+        parent = c.parent[helper]
+        if parent != NIL and c.is_real(parent):
+            parent_nid = c.ident[parent]
+            if not self._w.has(parent_nid):
+                raise KeyError(parent_nid)
+            if self._w.contains(parent_nid, old):
+                self._will_replace(parent_nid, old, new)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def _find_donor(
+        self,
+        start: int,
+        exclude: Set[int],
+        pinned: Tuple[int, ...] = (),
+    ) -> int:
+        """A live real node able to take on helper duties (object-engine
+        search order: local BFS, global id-ascending scan, hid-ascending
+        steal)."""
+        c = self._c
+
+        queue: deque = deque([start])
+        seen: Set[int] = set()
+        while queue:
+            node = queue.popleft()
+            if node in seen:
+                continue
+            seen.add(node)
+            if (
+                c.is_real(node)
+                and c.ident[node] not in exclude
+                and c.role[node] == NIL
+            ):
+                return c.ident[node]
+            if c.parent[node] != NIL:
+                queue.append(c.parent[node])
+            queue.extend(c.children(node))
+
+        for nid in sorted(c._reals):
+            if nid not in exclude and c.role_of(nid) == NIL:
+                return nid
+
+        for helper in c.helper_slots():
+            if c.nchild[helper] != 1 or c.sim[helper] in exclude:
+                continue
+            if helper in pinned:
+                continue  # load-bearing for the ongoing repair
+            parent = c.parent[helper]
+            if parent != NIL and c.is_real(parent):
+                if not self._w.has(c.ident[parent]):
+                    continue  # slot of a node mid-deletion: leave it alone
+            sim = c.sim[helper]
+            if self._splice_helper(helper) is not None:
+                return sim
+
+        raise InvariantViolationError("donor", "no role-free node available")
+
+    def _record_destroy(self, helper: int) -> None:
+        self._events.append(
+            HelperDestroyed(self._c.sim[helper], self._c.ident[helper])
+        )

@@ -81,6 +81,62 @@ class DynamicTreeMetrics:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    @classmethod
+    def from_parents(
+        cls, parents: Iterable[int]
+    ) -> "DynamicTreeMetrics":
+        """O(n) construction from a parent array (node ``i``'s parent id,
+        ``-1`` at the root).
+
+        The orientation is taken directly from the array — no adjacency
+        dict to build first and no BFS to orient it, roughly halving the
+        startup cost of tracking a tree the caller already holds in
+        parent-pointer form (the flat core's native shape; see
+        :meth:`~repro.core.flat_tree.FlatForgivingTree.from_parents`).
+        Equivalent to ``DynamicTreeMetrics(adjacency, root=<array root>)``
+        in every maintained value.
+        """
+        parents = list(parents)
+        n = len(parents)
+        self = cls.__new__(cls)
+        self._adj = {i: set() for i in range(n)}
+        self._parent = {}
+        self._children = {i: set() for i in range(n)}
+        self._height = {}
+        self._diam = {}
+        self._chords = set()
+        self._root = None
+        if n == 0:
+            return self
+        root = -1
+        for i, p in enumerate(parents):
+            if p == -1:
+                if root != -1:
+                    raise NotATreeError("two roots in parent array")
+                root = i
+            elif not 0 <= p < n:
+                raise NodeNotFoundError(p, "parent array")
+        if root == -1:
+            raise NotATreeError("no root in parent array")
+        self._root = root
+        for i, p in enumerate(parents):
+            self._parent[i] = None if p == -1 else p
+            if p != -1:
+                self._children[p].add(i)
+                self._adj[i].add(p)
+                self._adj[p].add(i)
+        order: List[int] = [root]
+        queue = deque(order)
+        while queue:
+            kids = self._children[queue.popleft()]
+            order.extend(kids)
+            queue.extend(kids)
+        if len(order) != n:
+            raise NotATreeError("parent array contains a cycle")
+        for nid in reversed(order):
+            self._recompute(nid)
+        return self
+
     def _orient_from_root(self) -> None:
         order: List[int] = [self._root]  # type: ignore[list-item]
         self._parent = {self._root: None}  # type: ignore[dict-item]

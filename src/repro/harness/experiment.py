@@ -105,13 +105,20 @@ class _DiameterMeter:
                     raise
                 self.mode = "double-sweep"
 
-    def measure(self, report, graph_fn: Callable[[], Graph]):
+    def measure(self, report, graph_fn: Callable[[], Graph], fast_stats=None):
         """Return ``(connected, diameter, alive_count)`` for this round.
 
         ``graph_fn`` is only called when the incremental tracker is not
         (or no longer) usable — the measurement itself never materializes
         the graph on the fast path.  (The campaign loop's *degree* metric
         still does; see the runner docstrings.)
+
+        ``fast_stats`` is the healer's O(1) ``(connected, alive_count)``
+        capability (when it has one): with ``metrics="none"`` those two
+        are the *only* values this round needs, so the graph is never
+        materialized at all — the difference between O(1) and O(n) per
+        event on the n = 10k..1M churn ladder.  Healers that maintain a
+        spanning overlay report exactly what the BFS would.
         """
         if self.tracker is not None:
             try:
@@ -127,6 +134,9 @@ class _DiameterMeter:
                 if self.mode == "incremental":
                     raise
                 self.mode = "double-sweep"
+        if self.mode == "none" and fast_stats is not None:
+            connected, alive = fast_stats()
+            return connected, None, alive
         graph = graph_fn()
         connected = is_connected(graph)
         diameter: Optional[int] = None
@@ -143,7 +153,14 @@ class _DiameterMeter:
 
 @dataclass
 class CampaignResult:
-    """Everything a benchmark needs from one campaign."""
+    """Everything a benchmark needs from one campaign.
+
+    Campaigns run with ``keep_rounds=False`` stream every record through
+    :meth:`fold` instead of storing it, so the aggregate properties stay
+    O(1) in memory at ladder scale (n = 1M sustained churn) while
+    reporting exactly what the kept-rounds path would; only
+    :attr:`rounds` itself (and :meth:`series`) are then empty.
+    """
 
     healer_name: str
     adversary_name: str
@@ -156,14 +173,44 @@ class CampaignResult:
     #: What the observability stack saw (``obs=`` campaigns only):
     #: metrics snapshot, profile summary, trace export paths/handle.
     obs: Optional[ObsSummary] = None
+    # Streaming aggregates (folded per round; authoritative when the
+    # records themselves are not kept).
+    _peak_ddeg: int = field(default=0, repr=False)
+    _peak_diameter: int = field(default=0, repr=False)
+    _peak_msgs: int = field(default=0, repr=False)
+    _all_connected: bool = field(default=True, repr=False)
+    _n_inserts: int = field(default=0, repr=False)
+    _n_deletes: int = field(default=0, repr=False)
+    _last_alive: Optional[int] = field(default=None, repr=False)
+
+    def fold(self, record: RoundRecord) -> None:
+        """Fold one round into the streaming aggregates (O(1) memory)."""
+        if record.max_degree_increase > self._peak_ddeg:
+            self._peak_ddeg = record.max_degree_increase
+        if record.diameter is not None and record.diameter > self._peak_diameter:
+            self._peak_diameter = record.diameter
+        if record.max_messages_per_node > self._peak_msgs:
+            self._peak_msgs = record.max_messages_per_node
+        self._all_connected = self._all_connected and record.connected
+        if record.event == "insert":
+            self._n_inserts += 1
+        else:
+            self._n_deletes += 1
+        self._last_alive = record.alive
 
     @property
     def peak_degree_increase(self) -> int:
-        return max((r.max_degree_increase for r in self.rounds), default=0)
+        if self.rounds:
+            return max(r.max_degree_increase for r in self.rounds)
+        return self._peak_ddeg
 
     @property
     def peak_diameter(self) -> int:
-        return max((r.diameter for r in self.rounds if r.diameter is not None), default=0)
+        if self.rounds:
+            return max(
+                (r.diameter for r in self.rounds if r.diameter is not None), default=0
+            )
+        return self._peak_diameter
 
     @property
     def peak_stretch(self) -> float:
@@ -173,24 +220,34 @@ class CampaignResult:
 
     @property
     def stayed_connected(self) -> bool:
-        return all(r.connected for r in self.rounds)
+        if self.rounds:
+            return all(r.connected for r in self.rounds)
+        return self._all_connected
 
     @property
     def peak_messages_per_node(self) -> int:
-        return max((r.max_messages_per_node for r in self.rounds), default=0)
+        if self.rounds:
+            return max(r.max_messages_per_node for r in self.rounds)
+        return self._peak_msgs
 
     # -- churn-campaign views ---------------------------------------------
     @property
     def n_inserts(self) -> int:
-        return sum(1 for r in self.rounds if r.event == "insert")
+        if self.rounds:
+            return sum(1 for r in self.rounds if r.event == "insert")
+        return self._n_inserts
 
     @property
     def n_deletes(self) -> int:
-        return sum(1 for r in self.rounds if r.event == "delete")
+        if self.rounds:
+            return sum(1 for r in self.rounds if r.event == "delete")
+        return self._n_deletes
 
     @property
     def final_alive(self) -> int:
-        return self.rounds[-1].alive if self.rounds else self.n0
+        if self.rounds:
+            return self.rounds[-1].alive
+        return self._last_alive if self._last_alive is not None else self.n0
 
     @property
     def net_growth(self) -> int:
@@ -198,7 +255,10 @@ class CampaignResult:
         return self.final_alive - self.n0
 
     def series(self, attr: str) -> List:
-        """Extract one column as a list (for figure-style output)."""
+        """Extract one column as a list (for figure-style output).
+
+        Empty under ``keep_rounds=False`` — streaming campaigns trade the
+        per-round series for O(1) memory."""
         return [getattr(r, attr) for r in self.rounds]
 
 
@@ -242,7 +302,9 @@ def _record_round(
     d0: int,
 ) -> RoundRecord:
     """The per-event measurement + bookkeeping shared by both runners."""
-    connected, diameter, alive = meter.measure(report, healer.graph)
+    connected, diameter, alive = meter.measure(
+        report, healer.graph, fast_stats=getattr(healer, "fast_stats", None)
+    )
     return RoundRecord(
         round=t + 1,
         deleted=report.deleted,
@@ -331,6 +393,7 @@ def run_campaign(
     seed: int = 0,
     transport: TransportInput = None,
     obs: ObsInput = None,
+    keep_rounds: bool = True,
 ) -> CampaignResult:
     """Play the Delete and Repair game.
 
@@ -376,6 +439,11 @@ def run_campaign(
         per-phase profiling, a flight recorder) and lands its summary
         in :attr:`CampaignResult.obs`.  ``"trace"``/``"full"`` require
         an async ``transport``.  Default: off (every hook is a no-op).
+    keep_rounds:
+        When ``False``, per-round records are folded into the result's
+        streaming aggregates instead of being stored — O(1) memory for
+        million-event campaigns; ``rounds``/``series()`` are then empty
+        but every peak/count property reports the same values.
     """
     initial = healer.graph()
     n0 = len(initial)
@@ -405,7 +473,9 @@ def run_campaign(
         if mirror is not None:
             mirror.apply(report)
         record = _record_round(t, report, healer, meter, d0)
-        result.rounds.append(record)
+        result.fold(record)
+        if keep_rounds:
+            result.rounds.append(record)
         if obs_state is not None and obs_state.metrics is not None:
             _stream_round(obs_state.metrics, record)
         if on_round is not None:
@@ -455,6 +525,7 @@ def run_churn_campaign(
     seed: int = 0,
     transport: TransportInput = None,
     obs: ObsInput = None,
+    keep_rounds: bool = True,
 ) -> CampaignResult:
     """Play the churn game: a mixed insert/delete stream against one healer.
 
@@ -482,6 +553,9 @@ def run_churn_campaign(
     handoff), cross-validating the healed image at every quiesce
     barrier — see :func:`run_campaign`.  ``obs`` attaches the
     observability stack (metrics / trace / profile / full) the same way.
+    ``keep_rounds=False`` streams the per-round records into O(1)
+    aggregates instead of storing them — the mode the n = 10k..1M
+    sustained-churn ladder runs in (see :func:`run_campaign`).
     """
     initial = healer.graph()
     n0 = len(initial)
@@ -531,7 +605,9 @@ def run_churn_campaign(
         if mirror is not None:
             mirror.apply(report)
         record = _record_round(t, report, healer, meter, d0)
-        result.rounds.append(record)
+        result.fold(record)
+        if keep_rounds:
+            result.rounds.append(record)
         if obs_state is not None and obs_state.metrics is not None:
             _stream_round(obs_state.metrics, record)
         if on_round is not None:
