@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Pretty-print a FlightRecorder JSONL dump (the bisection entry point).
+
+A soak's SLO breach (or a transport cross-validation failure) dumps the
+flight-recorder ring to JSONL with a header naming the covered
+**event-id window** — the replayable slice of the campaign.  This tool
+renders that dump for a human: the header first (what window, how much
+was evicted before it), then the events as an aligned table, with
+``--kind`` filtering and ``--tail`` for the usual "what happened right
+before it blew up" question.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/inspect_recorder.py dump.jsonl
+    PYTHONPATH=src python benchmarks/inspect_recorder.py dump.jsonl \\
+        --kind alert --tail 20
+
+Exit codes: 0 ok; 1 the file is not a recorder dump; 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="inspect_recorder.py",
+        description="pretty-print a FlightRecorder JSONL dump",
+    )
+    parser.add_argument("path", help="recorder dump (JSONL, header first)")
+    parser.add_argument("--kind", help="only show events of this kind")
+    parser.add_argument("--tail", type=int, metavar="N",
+                        help="only the last N events")
+    parser.add_argument("--json", action="store_true",
+                        help="re-emit the (filtered) events as JSONL "
+                             "instead of a table")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.path) as fh:
+            lines = [line for line in fh if line.strip()]
+        rows = [json.loads(line) for line in lines]
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{args.path}: not a recorder dump — {exc}", file=sys.stderr)
+        return 1
+    if not rows or "recorded_total" not in rows[0]:
+        print(f"{args.path}: missing recorder header", file=sys.stderr)
+        return 1
+    header, events = rows[0], rows[1:]
+    if args.kind:
+        events = [e for e in events if e.get("kind") == args.kind]
+    if args.tail is not None:
+        events = events[-args.tail:]
+
+    print(
+        f"recorder {header.get('recorder', '?')!r}: "
+        f"events {header['first_id']}..{header['last_id']} "
+        f"({len(rows) - 1} held, {header['evicted']} evicted, "
+        f"{header['recorded_total']} recorded total, "
+        f"capacity {header['capacity']})"
+    )
+    if header["evicted"]:
+        print(
+            f"  replay window: resume the nearest checkpoint at or before "
+            f"event {header['first_id']} and play forward"
+        )
+    if args.json:
+        for event in events:
+            print(json.dumps(event, sort_keys=True))
+        return 0
+    if not events:
+        print("  (no events match)")
+        return 0
+    extras = sorted(
+        {k for e in events for k in e} - {"id", "kind", "clock"}
+    )
+    widths = {
+        k: max(len(k), *(len(str(e.get(k, ""))) for e in events))
+        for k in extras
+    }
+    head = f"  {'id':>8}  {'clock':>10}  {'kind':<10}" + "".join(
+        f"  {k:>{widths[k]}}" for k in extras
+    )
+    print(head)
+    print("  " + "-" * (len(head) - 2))
+    for event in events:
+        line = (
+            f"  {event['id']:>8}  {event['clock']:>10}  "
+            f"{event.get('kind', '?'):<10}"
+        )
+        line += "".join(
+            f"  {str(event.get(k, '')):>{widths[k]}}" for k in extras
+        )
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

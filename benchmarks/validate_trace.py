@@ -1,37 +1,71 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace-event JSON file (the CI smoke gate).
+"""Validate trace files — Chrome trace-event JSON or streamed JSONL.
 
-Checks the structural schema Perfetto/chrome://tracing relies on: known
-phases, integer pid/tid, numeric non-negative timestamps, balanced and
-time-ordered B/E stacks per track (see
-:func:`repro.obs.validate_chrome_trace`).
+The CI smoke gate for everything the tracing stack writes:
 
-Run:  PYTHONPATH=src python benchmarks/validate_trace.py trace.json [...]
+* **Chrome mode** (default): the structural schema Perfetto /
+  chrome://tracing relies on — known phases, integer pid/tid, numeric
+  timestamps, balanced and time-ordered B/E stacks per track
+  (:func:`repro.obs.validate_chrome_trace`).
+* **JSONL mode** (``--jsonl``): the line-oriented dialect shared by
+  :meth:`Tracer.export_jsonl` and the streaming telemetry sinks —
+  exact per-phase field sets, every E closing a seen B, no span left
+  open (:func:`repro.obs.validate_trace_jsonl`).  Mixed telemetry
+  streams (metrics/window/alert records interleaved with trace
+  records) validate too; non-trace kinds are counted, not schema-checked.
 
-Exits non-zero (with the structural violation) on the first bad file.
+Usage::
+
+    PYTHONPATH=src python benchmarks/validate_trace.py trace.json [...]
+    PYTHONPATH=src python benchmarks/validate_trace.py --jsonl telemetry.jsonl
+
+Exit codes: 0 all files valid; 1 a file failed validation;
+2 usage error (argparse).  Positional-only invocation stays compatible
+with the historical CLI (``validate_trace.py <file>``).
 """
 
+import argparse
 import json
 import sys
 
-from repro.obs import validate_chrome_trace
+from repro.obs import validate_chrome_trace, validate_trace_jsonl
 
 
-def main(argv) -> int:
-    if len(argv) < 2:
-        print(__doc__.strip())
-        return 2
-    for path in argv[1:]:
-        with open(path) as fh:
-            doc = json.load(fh)
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="validate_trace.py",
+        description="validate Chrome trace JSON or streamed trace JSONL",
+    )
+    parser.add_argument("paths", nargs="+", metavar="FILE",
+                        help="trace file(s) to validate")
+    parser.add_argument("--jsonl", action="store_true",
+                        help="treat files as JSONL (export_jsonl / "
+                             "telemetry sink dialect) instead of Chrome "
+                             "trace JSON")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print nothing on success")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    for path in args.paths:
         try:
-            n = validate_chrome_trace(doc)
-        except ValueError as exc:
-            print(f"{path}: INVALID — {exc}")
+            with open(path) as fh:
+                text = fh.read()
+            if args.jsonl:
+                n = validate_trace_jsonl(text)
+                what = "jsonl records"
+            else:
+                n = validate_chrome_trace(json.loads(text))
+                what = "trace events"
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
             return 1
-        print(f"{path}: OK ({n} trace events)")
+        if not args.quiet:
+            print(f"{path}: OK ({n} {what})")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main())

@@ -72,9 +72,9 @@ def main() -> None:
 
     print("\nhottest phases (wall time):")
     for phase, row in sorted(
-        o.profile.items(), key=lambda kv: -kv[1]["wall_s"]
+        o.timing.items(), key=lambda kv: -kv[1]["wall_s"]
     )[:5]:
-        print(f"  {phase:<24} {row['calls']:>6} calls  "
+        print(f"  {phase:<24} {o.profile[phase]['calls']:>6} calls  "
               f"{1e3 * row['wall_s']:8.2f} ms  {row['us_per_call']:7.1f} µs/call")
 
     print("\nstreamed metrics (O(1) memory each):")

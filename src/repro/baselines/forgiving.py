@@ -73,6 +73,40 @@ class ForgivingTreeHealer(Healer):
         # image for the whole campaign — O(1) metric fast paths apply.
         self._pure_tree = not self._extra
 
+    @classmethod
+    def from_engine(
+        cls,
+        engine,
+        extras: Set[Tuple[int, int]] = frozenset(),
+    ) -> "ForgivingTreeHealer":
+        """Wrap an existing engine — fresh or checkpoint-restored.
+
+        The soak service's resume path: a
+        :meth:`~repro.core.flat_tree.FlatForgivingTree.restore`'d engine
+        (or a bulk ``from_parents`` build) becomes a catalog healer
+        without re-running the BFS spanning-tree construction.  The
+        healer's baseline degrees and round counter come from the engine
+        (they survive checkpoints there); ``initial_graph`` reflects the
+        overlay at wrap time, which for a resumed campaign is the
+        restore point, so stretch denominators must be carried by the
+        caller (the soak manifest does).
+        """
+        self = cls.__new__(cls)
+        adjacency = engine.adjacency()
+        for u, v in extras:
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+        self._initial = adjacency
+        self._original_degree = dict(engine.original_degree)
+        self.rounds = engine.rounds
+        self.core = (
+            "flat" if isinstance(engine, FlatForgivingTree) else "object"
+        )
+        self.engine = engine
+        self._extra = set(extras)
+        self._pure_tree = not self._extra
+        return self
+
     def delete(self, nid: int) -> HealReport:
         self._pre_delete(nid)
         report = self.engine.delete(nid)

@@ -11,6 +11,11 @@ of *The Forgiving Graph* (PODC 2009):
   :class:`repro.adversaries.TraceReplayAdversary`.
 * :func:`synthetic_skype_outage` — the motivating 2007 outage scenario
   as a ready-made trace (used by ``examples/skype_outage.py``).
+* :class:`TraceGenerator` — the unbounded deterministic stream for
+  long-horizon soaks: diurnal arrival rates, bounded-Pareto session
+  lengths, and scheduled :class:`FlashCrowd`/:class:`Outage` acts
+  generalizing the skype trace; skippable to any event index, which is
+  what makes checkpoint resume possible (:mod:`repro.soak`).
 
 The engines consume these events natively:
 :meth:`repro.core.forgiving_tree.ForgivingTree.insert` places a joiner
@@ -22,13 +27,25 @@ streams run through :func:`repro.harness.run_churn_campaign`.
 """
 
 from .events import ChurnEvent, Delete, Insert, InsertWave
+from .generator import (
+    FlashCrowd,
+    GeneratorChurnAdversary,
+    GeneratorConfig,
+    Outage,
+    TraceGenerator,
+)
 from .traces import ChurnTrace, synthetic_skype_outage
 
 __all__ = [
     "ChurnEvent",
     "ChurnTrace",
     "Delete",
+    "FlashCrowd",
+    "GeneratorChurnAdversary",
+    "GeneratorConfig",
     "Insert",
     "InsertWave",
+    "Outage",
+    "TraceGenerator",
     "synthetic_skype_outage",
 ]

@@ -78,6 +78,18 @@ from .slot_tree import (
 
 NIL = -1
 
+#: The 12 parallel columns of :class:`FlatCore`, in serialization order.
+CORE_COLUMNS = (
+    "kind", "ident", "sim", "parent", "head", "tail",
+    "next", "prev", "nchild", "role", "imgdeg", "inc",
+)
+
+#: The 8 parallel columns of :class:`FlatWills`, in serialization order.
+WILL_COLUMNS = (
+    "wkind", "wval", "wparent", "whead",
+    "wtail", "wnext", "wprev", "wnchild",
+)
+
 #: Virtual-tree slot kinds.
 KIND_FREE = 0
 KIND_REAL = 1
@@ -698,6 +710,71 @@ class FlatCore:
             if self.kind[slot] != KIND_FREE:
                 raise InvariantViolationError("flat-free-kind", str(slot))
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Full state as ``{"meta": {...}, "arrays": {name: array('q')}}``.
+
+        Every sequence — including dict key/value columns — is an
+        ``array('q')`` so the checkpoint codec can write raw bytes.  Dict
+        columns keep *insertion order*: ``_reals`` iterates by node age
+        and ``_helpers`` hid-ascending, and both orders are load-bearing
+        for bit-identical replay (donor scans, helper steals).  The
+        free/limbo lists are LIFO stacks whose order decides future slot
+        assignment, so they serialize verbatim too.
+        """
+        arrays: Dict[str, array] = {
+            name: array("q", getattr(self, name)) for name in CORE_COLUMNS
+        }
+        arrays["reals_k"] = array("q", self._reals.keys())
+        arrays["reals_v"] = array("q", self._reals.values())
+        arrays["helpers_k"] = array("q", self._helpers.keys())
+        arrays["helpers_v"] = array("q", self._helpers.values())
+        image = array("q")
+        for (u, v), mult in self._image.items():
+            image.append(u)
+            image.append(v)
+            image.append(mult)
+        arrays["image"] = image
+        arrays["free"] = array("q", self._free)
+        arrays["limbo"] = array("q", self._limbo)
+        arrays["inc_k"] = array("q", self._inc_count.keys())
+        arrays["inc_v"] = array("q", self._inc_count.values())
+        arrays["alive"] = array("q", self._alive_list)
+        meta = {
+            "root": self._root,
+            "hid_counter": self._hid_counter,
+            "inc_max": self._inc_max,
+            "inc_dirty": int(self._inc_dirty),
+        }
+        return {"meta": meta, "arrays": arrays}
+
+    @classmethod
+    def restore_state(cls, state: Dict[str, object]) -> "FlatCore":
+        """Rebuild a core from :meth:`snapshot_state` output (exact)."""
+        meta = state["meta"]
+        arrays = state["arrays"]
+        self = cls(recorder=None)
+        for name in CORE_COLUMNS:
+            setattr(self, name, array("q", arrays[name]))
+        self._reals = dict(zip(arrays["reals_k"], arrays["reals_v"]))
+        self._helpers = dict(zip(arrays["helpers_k"], arrays["helpers_v"]))
+        img = arrays["image"]
+        self._image = {
+            (img[i], img[i + 1]): img[i + 2] for i in range(0, len(img), 3)
+        }
+        self._free = list(arrays["free"])
+        self._limbo = list(arrays["limbo"])
+        self._inc_count = dict(zip(arrays["inc_k"], arrays["inc_v"]))
+        self._alive_list = list(arrays["alive"])
+        self._alive_idx = {nid: i for i, nid in enumerate(self._alive_list)}
+        self._root = int(meta["root"])
+        self._hid_counter = int(meta["hid_counter"])
+        self._inc_max = int(meta["inc_max"])
+        self._inc_dirty = bool(meta["inc_dirty"])
+        return self
+
 
 class FlatWills:
     """Every node's will (SubRT blueprint) in one shared flat arena.
@@ -1297,3 +1374,58 @@ class FlatWills:
                 prev = child
             if self.wtail[pos] != prev:
                 raise InvariantViolationError("flat-will-tail", str(sim))
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Full arena state (same ``meta``/``arrays`` shape as FlatCore).
+
+        The ``_root`` map's key *existence* encodes will existence and its
+        insertion order tracks will creation order; the free list is the
+        LIFO allocation stack.  Both serialize verbatim so a restored
+        arena hands out positions in the same sequence the unbroken run
+        would have.
+        """
+        arrays: Dict[str, array] = {
+            name: array("q", getattr(self, name)) for name in WILL_COLUMNS
+        }
+        arrays["free"] = array("q", self._free)
+        arrays["root_k"] = array("q", self._root.keys())
+        arrays["root_v"] = array("q", self._root.values())
+        arrays["heir_k"] = array("q", self._heir.keys())
+        arrays["heir_v"] = array("q", self._heir.values())
+        leafpos = array("q")
+        for (owner, stand_in), pos in self._leafpos.items():
+            leafpos.append(owner)
+            leafpos.append(stand_in)
+            leafpos.append(pos)
+        arrays["leafpos"] = leafpos
+        intpos = array("q")
+        for (owner, sim), pos in self._intpos.items():
+            intpos.append(owner)
+            intpos.append(sim)
+            intpos.append(pos)
+        arrays["intpos"] = intpos
+        return {"meta": {"branching": self.branching}, "arrays": arrays}
+
+    @classmethod
+    def restore_state(cls, state: Dict[str, object]) -> "FlatWills":
+        """Rebuild a will arena from :meth:`snapshot_state` output."""
+        meta = state["meta"]
+        arrays = state["arrays"]
+        self = cls(branching=int(meta["branching"]))
+        for name in WILL_COLUMNS:
+            setattr(self, name, array("q", arrays[name]))
+        self._free = list(arrays["free"])
+        self._root = dict(zip(arrays["root_k"], arrays["root_v"]))
+        self._heir = dict(zip(arrays["heir_k"], arrays["heir_v"]))
+        lp = arrays["leafpos"]
+        self._leafpos = {
+            (lp[i], lp[i + 1]): lp[i + 2] for i in range(0, len(lp), 3)
+        }
+        ip = arrays["intpos"]
+        self._intpos = {
+            (ip[i], ip[i + 1]): ip[i + 2] for i in range(0, len(ip), 3)
+        }
+        return self

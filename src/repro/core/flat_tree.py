@@ -187,6 +187,136 @@ class FlatForgivingTree:
         c.recorder = self._events.append
         return self
 
+    # ------------------------------------------------------------------
+    # checkpointing (the soak service's snapshot surface)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Full engine state between events, checkpoint-codec ready.
+
+        Taken *between* healing rounds (the per-event scratch —
+        ``_events``, ``_tally`` — is reset at the top of every round, so
+        it never needs to travel).  Everything whose *order* steers
+        future heals serializes order-preserving through the core/wills
+        snapshots; the engine-level id sets are membership-only and come
+        out sorted.  :meth:`restore` inverts this exactly: a restored
+        engine replays any event sequence to bit-identical
+        :class:`HealReport` streams (asserted in ``tests/test_soak.py``).
+        """
+        from array import array
+
+        od = self.original_degree
+        return {
+            "meta": {
+                "branching": self.branching,
+                "will_mode": self.will_mode,
+                "strict": int(self.strict),
+                "root_id": self.root_id,
+                "rounds": self.rounds,
+            },
+            "core": self._c.snapshot_state(),
+            "wills": self._w.snapshot_state(),
+            "arrays": {
+                "origdeg_k": array("q", od.keys()),
+                "origdeg_v": array("q", od.values()),
+                "initial": array("q", sorted(self.initial_nodes)),
+                "ever": array("q", sorted(self._ever)),
+            },
+        }
+
+    @classmethod
+    def restore(cls, state: Dict[str, object]) -> "FlatForgivingTree":
+        """Rebuild an engine from :meth:`snapshot_state` output."""
+        meta = state["meta"]
+        arrays = state["arrays"]
+        self = cls.__new__(cls)
+        self._setup(
+            int(meta["root_id"]),
+            int(meta["branching"]),
+            str(meta["will_mode"]),
+            bool(meta["strict"]),
+        )
+        self.rounds = int(meta["rounds"])
+        self._c = FlatCore.restore_state(state["core"])
+        self._w = FlatWills.restore_state(state["wills"])
+        self.original_degree = dict(
+            zip(arrays["origdeg_k"], arrays["origdeg_v"])
+        )
+        self.initial_nodes = set(arrays["initial"])
+        self._ever = set(arrays["ever"])
+        self._c.recorder = self._events.append
+        return self
+
+    def parent_state(self) -> Dict[str, list]:
+        """The current *image graph* as metrics-tracker parent state.
+
+        Shaped for :meth:`DynamicTreeMetrics.from_parents(parents, ids=,
+        chords=) <repro.graphs.incremental.DynamicTreeMetrics.from_parents>`:
+        a BFS spanning orientation of the healed overlay from the virtual
+        root's owner, ids ascending, leftover (heal-cycle) edges as
+        chords.  Lets the harness rebuild its diameter tracker next to a
+        restored engine without materializing an adjacency dict first.
+        """
+        c = self._c
+        ids = sorted(c._reals)
+        index = {nid: i for i, nid in enumerate(ids)}
+        adj: Dict[int, List[int]] = {nid: [] for nid in ids}
+        for (u, v) in c._image:
+            adj[u].append(v)
+            adj[v].append(u)
+        parents = [NIL] * len(ids)
+        seen: Set[int] = set()
+        chords: List[Tuple[int, int]] = []
+        if ids:
+            start = c.owner(c.root) if c.root != NIL else ids[0]
+            seen.add(start)
+            queue = deque([start])
+            while queue:
+                cur = queue.popleft()
+                for nxt in sorted(adj[cur]):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        parents[index[nxt]] = index[cur]
+                        queue.append(nxt)
+            tree = {
+                (min(u, v), max(u, v))
+                for u in ids
+                for v in (ids[parents[index[u]]],)
+                if parents[index[u]] != NIL
+            }
+            chords = sorted(e for e in c._image if e not in tree)
+        return {"ids": ids, "parents": parents, "chords": chords}
+
+    def to_object_engine(self) -> "ForgivingTree":
+        """Materialize an object :class:`ForgivingTree` in the same state.
+
+        The differential cross-validation oracle: the soak service
+        restores a checkpoint, implants this object engine next to the
+        flat one, and replays a window of events through both — the two
+        report streams must match bit for bit before the soak continues
+        (the same parity the ``tests/test_flatcore.py`` wall asserts from
+        round zero, applied from an arbitrary mid-campaign state).
+        """
+        from .forgiving_tree import ForgivingTree
+
+        obj = ForgivingTree.__new__(ForgivingTree)
+        obj.branching = self.branching
+        obj.will_mode = self.will_mode
+        obj.strict = self.strict
+        obj.root_id = self.root_id
+        obj._events = []
+        vt = self.virtual_tree()
+        vt.recorder = obj._events.append
+        obj._vt = vt
+        obj._wills = {
+            owner: self._w.to_slot_tree(owner) for owner in self._w._root
+        }
+        obj.original_degree = dict(self.original_degree)
+        obj.initial_nodes = set(self.initial_nodes)
+        obj._ever = set(self._ever)
+        obj._tally = _Tally()
+        obj.rounds = self.rounds
+        return obj
+
     def _build(self, adjacency: Mapping[int, Sequence[int]]) -> None:
         c, w = self._c, self._w
         n = len(adjacency)

@@ -83,10 +83,13 @@ class DynamicTreeMetrics:
     # ------------------------------------------------------------------
     @classmethod
     def from_parents(
-        cls, parents: Iterable[int]
+        cls,
+        parents: Iterable[int],
+        ids: Optional[Iterable[int]] = None,
+        chords: Iterable[Tuple[int, int]] = (),
     ) -> "DynamicTreeMetrics":
-        """O(n) construction from a parent array (node ``i``'s parent id,
-        ``-1`` at the root).
+        """O(n) construction from a parent array (position ``i``'s parent
+        *position*, ``-1`` at the root).
 
         The orientation is taken directly from the array — no adjacency
         dict to build first and no BFS to orient it, roughly halving the
@@ -95,18 +98,33 @@ class DynamicTreeMetrics:
         :meth:`~repro.core.flat_tree.FlatForgivingTree.from_parents`).
         Equivalent to ``DynamicTreeMetrics(adjacency, root=<array root>)``
         in every maintained value.
+
+        ``ids`` optionally maps positions to actual node ids (default
+        ``0..n-1``), and ``chords`` re-adds non-tree cycle edges (id
+        pairs) — together they invert :meth:`parent_state`, so a tracker
+        checkpointed mid-campaign rebuilds exactly, arbitrary ids, heal
+        cycles and all.  Aggregates come out identical to the unbroken
+        incremental run because :meth:`check` proves the maintained
+        values always equal this same bottom-up recomputation.
         """
         parents = list(parents)
         n = len(parents)
+        labels = list(range(n)) if ids is None else [int(x) for x in ids]
+        if len(labels) != n:
+            raise NotATreeError("ids and parents lengths differ")
+        if len(set(labels)) != n:
+            raise DuplicateNodeError("duplicate id in parent-state ids")
         self = cls.__new__(cls)
-        self._adj = {i: set() for i in range(n)}
+        self._adj = {nid: set() for nid in labels}
         self._parent = {}
-        self._children = {i: set() for i in range(n)}
+        self._children = {nid: set() for nid in labels}
         self._height = {}
         self._diam = {}
         self._chords = set()
         self._root = None
         if n == 0:
+            if list(chords):
+                raise NotATreeError("chords on an empty tree")
             return self
         root = -1
         for i, p in enumerate(parents):
@@ -118,14 +136,15 @@ class DynamicTreeMetrics:
                 raise NodeNotFoundError(p, "parent array")
         if root == -1:
             raise NotATreeError("no root in parent array")
-        self._root = root
+        self._root = labels[root]
         for i, p in enumerate(parents):
-            self._parent[i] = None if p == -1 else p
+            nid = labels[i]
+            self._parent[nid] = None if p == -1 else labels[p]
             if p != -1:
-                self._children[p].add(i)
-                self._adj[i].add(p)
-                self._adj[p].add(i)
-        order: List[int] = [root]
+                self._children[labels[p]].add(nid)
+                self._adj[nid].add(labels[p])
+                self._adj[labels[p]].add(nid)
+        order: List[int] = [self._root]
         queue = deque(order)
         while queue:
             kids = self._children[queue.popleft()]
@@ -133,9 +152,41 @@ class DynamicTreeMetrics:
             queue.extend(kids)
         if len(order) != n:
             raise NotATreeError("parent array contains a cycle")
+        for u, v in chords:
+            key = edge_key(int(u), int(v))
+            u, v = key
+            if u not in self._adj or v not in self._adj:
+                raise NodeNotFoundError(u if u not in self._adj else v, "chord")
+            if v in self._adj[u]:
+                raise NotATreeError(f"chord {key} duplicates a tree edge")
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._chords.add(key)
         for nid in reversed(order):
             self._recompute(nid)
         return self
+
+    def parent_state(self) -> Dict[str, list]:
+        """Serialize the maintained orientation for checkpointing.
+
+        Returns ``{"ids", "parents", "chords"}`` where ``ids`` lists the
+        node ids ascending, ``parents`` gives each position's parent
+        *position* (``-1`` at the orientation root) and ``chords`` lists
+        the non-tree edges sorted.  ``from_parents(parents, ids=...,
+        chords=...)`` rebuilds an equivalent tracker — same diameter, same
+        future trajectory (chord competition is resolved in sorted order,
+        so replayed deltas classify edges identically)."""
+        ids = sorted(self._adj)
+        index = {nid: i for i, nid in enumerate(ids)}
+        parents = [
+            -1 if self._parent[nid] is None else index[self._parent[nid]]
+            for nid in ids
+        ]
+        return {
+            "ids": ids,
+            "parents": parents,
+            "chords": sorted(self._chords),
+        }
 
     def _orient_from_root(self) -> None:
         order: List[int] = [self._root]  # type: ignore[list-item]
@@ -325,31 +376,74 @@ class DynamicTreeMetrics:
             self._adj[v].add(u)
             pending.append((u, v))
         # Existing chords may reconnect fragments a removed tree edge cut
-        # off: they compete with the new edges for spanning duty.
-        pending.extend(self._chords)
-        self._chords.clear()
+        # off: they compete with the new edges for spanning duty.  Sorted,
+        # not set order: which competitor wins spanning duty decides the
+        # future orientation, and a checkpoint-restored tracker must make
+        # the same choice as the unbroken run.
+        #
+        # Only chords touching a detached fragment can change anything: a
+        # fragment only ever attaches *to* the anchor tree, so an endpoint
+        # anchored here stays anchored for the whole re-hang loop and a
+        # both-anchored chord would round-trip through ``pending`` back
+        # into the chord set untouched.  Selecting just the incident
+        # chords keeps chord-heavy soaks O(fragment size) per deletion
+        # instead of O(all accumulated chords) — and dropping the no-ops
+        # from ``sorted(...)`` preserves the survivors' relative order, so
+        # spanning-duty competition resolves identically.
+        if self._chords:
+            affected = self._fragment_chords(detached)
+            pending.extend(sorted(affected))
+            self._chords -= affected
 
         # Re-hang detached fragments along the new (and chord) edges.  A
         # fragment's internal orientation and aggregates are still valid;
         # only the path from the re-attachment point up to the fragment
         # root flips.  An edge whose endpoints land in the same fragment
         # closes a cycle and is kept as a chord.
+        #
+        # Fragment-root lookups dominate chord-heavy rounds (every carried
+        # chord is re-tested each pass), so walks are memoized for the
+        # duration of this call: ``memo`` caches node -> fragment root with
+        # path compression, and ``rehung`` marks former fragment roots
+        # whose fragments were absorbed into the anchor tree — a memo hit
+        # on one resolves to the anchor root.  The anchor root itself is
+        # pinned for the whole call (the victim was re-rooted away above),
+        # so absorbed fragments never need per-node invalidation.
+        memo: Dict[int, int] = {}
+        rehung: Set[int] = set()
+
+        def frag_root(nid: int) -> int:
+            path = []
+            cur = nid
+            while cur not in memo and self._parent[cur] is not None:
+                path.append(cur)
+                cur = self._parent[cur]  # type: ignore[assignment]
+            root = memo.get(cur, cur)
+            if root in rehung:
+                root = self._root  # type: ignore[assignment]
+            for node in path:
+                memo[node] = root
+            memo[cur] = root
+            return root  # type: ignore[return-value]
+
         while pending:
             rest: List[Tuple[int, int]] = []
             progress = False
             for u, v in pending:
-                ru, rv = self._frag_root(u), self._frag_root(v)
+                ru, rv = frag_root(u), frag_root(v)
                 if ru == rv:
                     self._chords.add(edge_key(u, v))
                     progress = True
                 elif ru == self._root:
                     self._rehang(v, u)
                     detached.discard(rv)
+                    rehung.add(rv)
                     dirty.add(u)
                     progress = True
                 elif rv == self._root:
                     self._rehang(u, v)
                     detached.discard(ru)
+                    rehung.add(ru)
                     dirty.add(v)
                     progress = True
                 else:
@@ -389,6 +483,31 @@ class DynamicTreeMetrics:
         while cur is not None:
             self._recompute(cur)
             cur = self._parent[cur]
+
+    def _fragment_chords(self, detached: Set[int]) -> Set[Tuple[int, int]]:
+        """Chords with an endpoint inside a detached fragment.
+
+        Walks the fragments' subtrees (their internal orientation is
+        still intact) and collects incident chords out of the bounded-
+        degree adjacency.  Falls back to the full chord set when the
+        fragments outgrow it — the full scan is then the cheaper side,
+        and it reproduces the pre-selection behavior exactly.
+        """
+        cap = 4 * len(self._chords) + 64
+        affected: Set[Tuple[int, int]] = set()
+        stack = list(detached)
+        seen = 0
+        while stack:
+            node = stack.pop()
+            seen += 1
+            if seen > cap:
+                return set(self._chords)
+            for nbr in self._adj[node]:
+                key = edge_key(node, nbr)
+                if key in self._chords:
+                    affected.add(key)
+            stack.extend(self._children[node])
+        return affected
 
     def _frag_root(self, nid: int) -> int:
         cur = nid

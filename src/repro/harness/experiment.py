@@ -88,12 +88,28 @@ class _DiameterMeter:
     end.
     """
 
-    def __init__(self, mode: str, initial: Graph, seed: int = 0):
+    def __init__(
+        self,
+        mode: str,
+        initial: Graph,
+        seed: int = 0,
+        tracker: Optional[DynamicTreeMetrics] = None,
+    ):
         if mode not in METRICS_MODES:
             raise ValueError(f"unknown metrics mode {mode!r} (one of {METRICS_MODES})")
         self.mode = mode
         self.seed = seed
         self.tracker: Optional[DynamicTreeMetrics] = None
+        if tracker is not None:
+            # Injected pre-built tracker (checkpoint resume): the overlay
+            # may legitimately carry heal chords mid-campaign, so the
+            # fresh-start "must be a tree" gate does not apply.
+            if mode not in ("auto", "incremental"):
+                raise ValueError(
+                    f"metrics_tracker= requires an incremental mode, not {mode!r}"
+                )
+            self.tracker = tracker
+            return
         if mode in ("auto", "incremental"):
             try:
                 self.tracker = DynamicTreeMetrics(initial)
@@ -526,6 +542,7 @@ def run_churn_campaign(
     transport: TransportInput = None,
     obs: ObsInput = None,
     keep_rounds: bool = True,
+    metrics_tracker: Optional[DynamicTreeMetrics] = None,
 ) -> CampaignResult:
     """Play the churn game: a mixed insert/delete stream against one healer.
 
@@ -556,6 +573,14 @@ def run_churn_campaign(
     ``keep_rounds=False`` streams the per-round records into O(1)
     aggregates instead of storing them — the mode the n = 10k..1M
     sustained-churn ladder runs in (see :func:`run_campaign`).
+
+    ``metrics_tracker`` injects a pre-built
+    :class:`~repro.graphs.incremental.DynamicTreeMetrics` instead of
+    constructing one from the healer's graph — the checkpoint-resume
+    path, where the restored overlay may already carry heal chords that
+    the fresh-start tree gate would reject.  The caller owns making the
+    tracker match the healer's overlay (the soak service rebuilds it
+    from the snapshot's ``parent_state``).
     """
     initial = healer.graph()
     n0 = len(initial)
@@ -563,6 +588,7 @@ def run_churn_campaign(
         _resolve_metrics(metrics, measure_diameter, exact_diameter, default="auto"),
         initial,
         seed,
+        tracker=metrics_tracker,
     )
     d0 = _initial_diameter(meter, initial)
     result = CampaignResult(

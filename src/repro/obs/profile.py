@@ -52,23 +52,55 @@ class PhaseProfiler:
             self.add(name, time.perf_counter_ns() - t0)
 
     # -- output ------------------------------------------------------------
-    def summary(self) -> Dict[str, Dict[str, float]]:
-        """``{phase: {calls, wall_s, us_per_call[, virtual]}}``, every
-        phase that recorded anything, keys sorted for stable output."""
-        phases = sorted(
-            set(self._calls) | set(self._virtual)
-        )
+    def deterministic_summary(self) -> Dict[str, Dict[str, float]]:
+        """``{phase: {calls[, virtual]}}`` — the seed-deterministic half.
+
+        Call counts and virtual-time durations are pure functions of the
+        campaign seed; two same-seed runs produce byte-identical output
+        here.  Wall-clock quantities live in :meth:`timing_summary` so a
+        soak summary diff only shows real behavioral drift."""
+        phases = sorted(set(self._calls) | set(self._virtual))
+        out: Dict[str, Dict[str, float]] = {}
+        for p in phases:
+            entry: Dict[str, float] = {"calls": self._calls.get(p, 0)}
+            if p in self._virtual:
+                entry["virtual"] = self._virtual[p]
+            out[p] = entry
+        return out
+
+    def timing_summary(self) -> Dict[str, Dict[str, float]]:
+        """``{phase: {wall_s, us_per_call}}`` — the wall-clock half.
+
+        Machine- and load-dependent; kept apart from
+        :meth:`deterministic_summary` so determinism assertions and
+        summary diffs never trip over nanoseconds."""
+        phases = sorted(set(self._calls) | set(self._virtual))
         out: Dict[str, Dict[str, float]] = {}
         for p in phases:
             calls = self._calls.get(p, 0)
             ns = self._wall_ns.get(p, 0)
-            entry: Dict[str, float] = {
-                "calls": calls,
+            out[p] = {
                 "wall_s": ns / 1e9,
                 "us_per_call": (ns / calls / 1e3) if calls else 0.0,
             }
-            if p in self._virtual:
-                entry["virtual"] = self._virtual[p]
+        return out
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """``{phase: {calls, wall_s, us_per_call[, virtual]}}``, every
+        phase that recorded anything, keys sorted for stable output.
+
+        The merged view; prefer :meth:`deterministic_summary` /
+        :meth:`timing_summary` where the split matters."""
+        det = self.deterministic_summary()
+        tim = self.timing_summary()
+        out: Dict[str, Dict[str, float]] = {}
+        for p in det:
+            entry = dict(det[p])
+            entry["wall_s"] = tim[p]["wall_s"]
+            entry["us_per_call"] = tim[p]["us_per_call"]
+            if "virtual" in entry:  # keep the historical key order
+                virtual = entry.pop("virtual")
+                entry["virtual"] = virtual
             out[p] = entry
         return out
 

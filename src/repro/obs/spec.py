@@ -115,7 +115,10 @@ class ObsState:
         return ObsSummary(
             spec=self.spec,
             metrics=self.metrics.snapshot() if self.metrics else {},
-            profile=self.profiler.summary() if self.profiler else {},
+            profile=(
+                self.profiler.deterministic_summary() if self.profiler else {}
+            ),
+            timing=self.profiler.timing_summary() if self.profiler else {},
             trace_events=trace_events,
             trace_path=trace_path,
             trace_jsonl_path=jsonl_path,
@@ -131,13 +134,33 @@ class ObsSummary:
     ``tracer`` is the live :class:`Tracer` (when tracing was on) for
     programmatic export/inspection after the campaign; everything else
     is plain JSON-able data.
+
+    Split by determinism: :meth:`deterministic` (metrics, profile call
+    counts/virtual times, trace/recorder event counts) is a pure function
+    of the campaign seed and is asserted byte-identical across same-seed
+    runs; ``timing`` holds the wall-clock half of the profile and is the
+    only machine-dependent field.
     """
 
     spec: ObsSpec
     metrics: Dict[str, object] = field(default_factory=dict)
     profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    timing: Dict[str, Dict[str, float]] = field(default_factory=dict)
     trace_events: int = 0
     trace_path: Optional[str] = None
     trace_jsonl_path: Optional[str] = None
     recorder_events: int = 0
     tracer: Optional[Tracer] = None
+
+    def deterministic(self) -> Dict[str, object]:
+        """The seed-deterministic summary as a JSON-able dict.
+
+        Two same-seed campaigns must serialize this identically
+        (``json.dumps(..., sort_keys=True)`` byte-for-byte); ``timing``
+        and the file paths are deliberately absent."""
+        return {
+            "metrics": self.metrics,
+            "profile": self.profile,
+            "trace_events": self.trace_events,
+            "recorder_events": self.recorder_events,
+        }

@@ -1,0 +1,458 @@
+"""Streaming telemetry: sinks, sampled tracing, incremental metrics.
+
+Everything in :mod:`repro.obs` so far accumulates in memory and exports
+at campaign end — the right shape for bounded experiments, the wrong
+one for soaks that run hundreds of thousands of events over hours.
+This module is the streaming half: instruments flush *incrementally*
+through a :class:`TelemetrySink`, so memory stays O(window) no matter
+how long the campaign runs.
+
+* :class:`JsonlSink` — append-one-JSON-object-per-line with size-based
+  rotation (``telemetry.jsonl`` -> ``telemetry.jsonl.1`` -> ...).
+* :class:`MemorySink` — keep records in a list (tests, small runs).
+* :class:`WindowedSink` — aggregate numeric record fields per window
+  and forward one summary record per (kind, window) on :meth:`roll`.
+* :class:`MetricsStreamer` — periodic :class:`MetricsRegistry` flushes:
+  each one carries the cumulative snapshot plus the counter/histogram
+  deltas since the previous flush.
+* :class:`SamplingTracer` — the :class:`~repro.obs.trace.Tracer` for
+  unbounded campaigns: head-samples one heal in ``sample_every``,
+  force-keeps heals flagged by the caller (SLO breaches), streams each
+  kept heal's complete span tree to the sink when its root closes, and
+  purges closed spans so resident span memory is bounded by the number
+  of heals *in flight*, not the campaign length.
+
+The record dialect is exactly :meth:`Tracer.export_jsonl`'s (field
+names from :data:`~repro.obs.trace.JSONL_KEYS`), so downstream tooling
+— ``benchmarks/validate_trace.py --jsonl``, grep, jq — reads batch and
+streamed traces identically; :func:`validate_trace_jsonl` is the
+well-formedness check for that dialect.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .trace import (
+    CONTROL_TRACK,
+    JSONL_KEYS,
+    PID_PROTOCOL,
+    Tracer,
+    record_to_dict,
+)
+
+
+class TelemetrySink:
+    """The sink protocol: structured records in, storage format out.
+
+    ``emit(kind, record)`` takes a JSON-able dict; ``kind`` is the
+    stream name (``"trace"``, ``"metrics"``, ``"window"``, ``"alert"``,
+    ...) so one sink can multiplex every instrument.  Subclasses
+    override both methods; the base class is also usable directly as a
+    null sink (drops everything, counts it).
+    """
+
+    def __init__(self) -> None:
+        self.emitted = 0
+
+    def emit(self, kind: str, record: dict) -> None:
+        self.emitted += 1
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "TelemetrySink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MemorySink(TelemetrySink):
+    """Keeps every ``(kind, record)`` in a list — tests and small runs."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.records: List[Tuple[str, dict]] = []
+
+    def emit(self, kind: str, record: dict) -> None:
+        super().emit(kind, record)
+        self.records.append((kind, record))
+
+    def by_kind(self, kind: str) -> List[dict]:
+        return [r for k, r in self.records if k == kind]
+
+
+class JsonlSink(TelemetrySink):
+    """Append records as JSONL, rotating when the file gets big.
+
+    Each line is ``{"kind": ..., **record}`` with sorted keys and fixed
+    separators, so same-seed campaigns produce byte-identical telemetry
+    (as long as the records themselves are deterministic).  When the
+    active file would exceed ``max_bytes`` it is renamed to
+    ``<path>.1``, ``<path>.2``, ... (ascending = older is *lower*) and
+    a fresh file is started; :attr:`paths` lists every file written, in
+    chronological order, active file last.
+    """
+
+    def __init__(self, path: str, max_bytes: int = 64 * 1024 * 1024):
+        super().__init__()
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.rotations = 0
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(path, "w")
+        self._size = 0
+
+    @property
+    def paths(self) -> List[str]:
+        return [
+            f"{self.path}.{i}" for i in range(1, self.rotations + 1)
+        ] + [self.path]
+
+    def emit(self, kind: str, record: dict) -> None:
+        super().emit(kind, record)
+        line = (
+            json.dumps(
+                {"kind": kind, **record},
+                sort_keys=True,
+                separators=(",", ":"),
+                default=str,
+            )
+            + "\n"
+        )
+        if self._size and self._size + len(line) > self.max_bytes:
+            self._rotate()
+        self._fh.write(line)
+        self._size += len(line)
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        self.rotations += 1
+        os.replace(self.path, f"{self.path}.{self.rotations}")
+        self._fh = open(self.path, "w")
+        self._size = 0
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class WindowedSink(TelemetrySink):
+    """Aggregate numeric record fields per window; forward summaries.
+
+    Between :meth:`roll` calls, every numeric field of every emitted
+    record folds into O(1)-memory per-(kind, field) aggregates
+    (count/sum/min/max).  ``roll(label)`` emits one ``"window"`` record
+    per kind to the downstream sink (alphabetical kind order, stable)
+    and resets.  The full-fidelity records themselves are *not*
+    forwarded — pair with a :class:`JsonlSink` on the side when both
+    views are wanted.
+    """
+
+    def __init__(self, downstream: Optional[TelemetrySink] = None):
+        super().__init__()
+        self.downstream = downstream if downstream is not None else MemorySink()
+        # (kind, field) -> [count, total, min, max]
+        self._agg: Dict[Tuple[str, str], List[float]] = {}
+        self._counts: Dict[str, int] = {}
+        self.windows = 0
+
+    def emit(self, kind: str, record: dict) -> None:
+        super().emit(kind, record)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        for field, value in record.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            acc = self._agg.get((kind, field))
+            if acc is None:
+                self._agg[(kind, field)] = [1, value, value, value]
+            else:
+                acc[0] += 1
+                acc[1] += value
+                if value < acc[2]:
+                    acc[2] = value
+                if value > acc[3]:
+                    acc[3] = value
+
+    def roll(self, label: object = None) -> List[dict]:
+        """Close the window: one summary record per kind, then reset."""
+        out: List[dict] = []
+        for kind in sorted(self._counts):
+            fields: Dict[str, dict] = {}
+            for (k, field), (cnt, total, lo, hi) in sorted(self._agg.items()):
+                if k != kind:
+                    continue
+                fields[field] = {
+                    "count": cnt,
+                    "mean": total / cnt,
+                    "min": lo,
+                    "max": hi,
+                }
+            summary = {
+                "window": self.windows,
+                "label": label,
+                "of_kind": kind,
+                "records": self._counts[kind],
+                "fields": fields,
+            }
+            self.downstream.emit("window", summary)
+            out.append(summary)
+        self._agg.clear()
+        self._counts.clear()
+        self.windows += 1
+        return out
+
+    def close(self) -> None:
+        self.downstream.close()
+
+
+class MetricsStreamer:
+    """Flush a :class:`MetricsRegistry` through a sink, with deltas.
+
+    Each :meth:`flush` emits one ``"metrics"`` record holding the
+    cumulative snapshot plus, for every integer-valued counter and every
+    histogram, the delta since the previous flush — the window view a
+    dashboard plots without re-deriving it.  O(registry) per flush,
+    O(1) extra memory between flushes (just the previous scalar values).
+    """
+
+    def __init__(self, registry: MetricsRegistry, sink: TelemetrySink):
+        self.registry = registry
+        self.sink = sink
+        self.flushes = 0
+        self._prev: Dict[str, object] = {}
+
+    def flush(self, label: object = None) -> dict:
+        snapshot = self.registry.snapshot()
+        delta: Dict[str, object] = {}
+        for name, value in snapshot.items():
+            if isinstance(value, int):
+                delta[name] = value - int(self._prev.get(name, 0))
+                self._prev[name] = value
+            elif isinstance(value, dict) and "count" in value:
+                prev = self._prev.get(name, {"count": 0, "total": 0.0})
+                delta[name] = {
+                    "count": value["count"] - prev["count"],
+                    "total": value.get("total", 0.0) - prev["total"],
+                }
+                self._prev[name] = {
+                    "count": value["count"],
+                    "total": value.get("total", 0.0),
+                }
+        record = {
+            "seq": self.flushes,
+            "label": label,
+            "cumulative": snapshot,
+            "delta": delta,
+        }
+        self.sink.emit("metrics", record)
+        self.flushes += 1
+        return record
+
+
+class SamplingTracer(Tracer):
+    """Head-sampling, sink-streaming tracer with bounded span memory.
+
+    The sampling unit is the **heal**: a parentless span opened on the
+    protocol pid (:data:`~repro.obs.trace.PID_PROTOCOL`) roots a heal's
+    span tree, and the keep/drop decision is made once, at that root
+    (*head* sampling), so a kept heal is always complete — root, layer
+    sub-spans, per-message delivery instants — and a dropped one costs
+    only the well-formedness bookkeeping.  Every ``sample_every``-th
+    root is kept; :meth:`force_keep` arms keeping the next ``n`` roots
+    unconditionally, which is how the SLO watchdog pins the heals around
+    a breach into the trace.
+
+    Kept records buffer per root and flush to the sink (kind
+    ``"trace"``, :meth:`~repro.obs.trace.Tracer.export_jsonl` dialect)
+    when the root closes; the closed subtree is then purged from the
+    in-memory span table, so resident spans are bounded by the heals in
+    flight.  Control-plane records (any pid other than
+    :data:`~repro.obs.trace.PID_PROTOCOL`) stream through immediately —
+    lease transitions and driver marks are cheap and always wanted.
+    """
+
+    def __init__(
+        self,
+        sink: TelemetrySink,
+        sample_every: int = 100,
+        max_spans: int = 100_000,
+    ):
+        super().__init__(max_spans=max_spans)
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sink = sink
+        self.sample_every = sample_every
+        self.roots_seen = 0
+        self.roots_kept = 0
+        self.roots_dropped = 0
+        self.flushed_records = 0
+        self._seen_records = 0
+        self._forced = 0
+        self._root_of: Dict[int, int] = {}  # sid -> its heal root sid
+        self._members: Dict[int, List[int]] = {}  # root -> subtree sids
+        self._buffers: Dict[int, List[dict]] = {}  # kept root -> records
+        self._tid_root: Dict[Tuple[int, int], int] = {}  # track -> open root
+
+    # -- sampling control --------------------------------------------------
+    def force_keep(self, n: int = 1) -> None:
+        """Arm unconditional keeping of the next ``n`` heal roots."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self._forced += n
+
+    @property
+    def n_records(self) -> int:
+        return self._seen_records
+
+    # -- interception ------------------------------------------------------
+    def _take(self) -> tuple:
+        """Pop the record the base class just appended."""
+        self._seen_records += 1
+        return self._records.pop()
+
+    def _stream(self, rec: tuple) -> None:
+        self.sink.emit("trace", record_to_dict(rec))
+        self.flushed_records += 1
+
+    def begin(self, name, cat, ts, track, args=None, parent=None) -> int:
+        sid = super().begin(name, cat, ts, track, args=args, parent=parent)
+        rec = self._take()
+        if track[0] != PID_PROTOCOL:
+            self._stream(rec)
+            return sid
+        if parent is None:
+            self.roots_seen += 1
+            keep = self._forced > 0 or (
+                (self.roots_seen - 1) % self.sample_every == 0
+            )
+            if self._forced:
+                self._forced -= 1
+            root = sid
+            self._members[root] = [sid]
+            if keep:
+                self.roots_kept += 1
+                self._buffers[root] = [record_to_dict(rec)]
+            else:
+                self.roots_dropped += 1
+            self._tid_root[track] = root
+        else:
+            root = self._root_of.get(parent, parent)
+            self._members.setdefault(root, []).append(sid)
+            if root in self._buffers:
+                self._buffers[root].append(record_to_dict(rec))
+        self._root_of[sid] = root
+        return sid
+
+    def end(self, sid, ts, args=None) -> None:
+        span = self._spans.get(sid)
+        super().end(sid, ts, args=args)
+        rec = self._take()
+        if span is None or span.pid != PID_PROTOCOL:
+            self._stream(rec)
+            return
+        root = self._root_of.get(sid, sid)
+        buffer = self._buffers.get(root)
+        if buffer is not None:
+            buffer.append(record_to_dict(rec))
+        if sid == root:
+            if buffer is not None:
+                for out in self._buffers.pop(root):
+                    self.sink.emit("trace", out)
+                    self.flushed_records += 1
+            self._purge(root)
+
+    def instant(self, name, cat, ts, track=CONTROL_TRACK, args=None) -> None:
+        super().instant(name, cat, ts, track=track, args=args)
+        rec = self._take()
+        if track[0] != PID_PROTOCOL:
+            self._stream(rec)
+            return
+        root = self._tid_root.get(track)
+        if root is not None and root in self._buffers:
+            self._buffers[root].append(record_to_dict(rec))
+
+    def counter(self, name, ts, values, track=(PID_PROTOCOL, 0)) -> None:
+        super().counter(name, ts, values, track=track)
+        rec = self._take()
+        if track[0] != PID_PROTOCOL:
+            self._stream(rec)
+            return
+        root = self._tid_root.get(track)
+        if root is not None and root in self._buffers:
+            self._buffers[root].append(record_to_dict(rec))
+
+    def meta(self, name, value, track) -> None:
+        super().meta(name, value, track)
+        self._stream(self._take())
+
+    # -- memory bound ------------------------------------------------------
+    def _purge(self, root: int) -> None:
+        """Drop a closed heal's subtree from the in-memory span table."""
+        for member in self._members.pop(root, []):
+            self._spans.pop(member, None)
+            self._root_of.pop(member, None)
+        for track, open_root in list(self._tid_root.items()):
+            if open_root == root:
+                del self._tid_root[track]
+
+
+def validate_trace_jsonl(text: str) -> int:
+    """Validate a JSONL trace (batch export or streamed sink output).
+
+    Accepts both dialects: raw :meth:`Tracer.export_jsonl` lines and
+    :class:`JsonlSink` lines (``kind == "trace"`` carrying the same
+    fields; other kinds — metrics, windows, alerts — are counted but
+    only checked for JSON well-formedness).  Trace records must carry
+    the exact field set of their phase (:data:`JSONL_KEYS`), every E
+    must close a B it has seen with a non-earlier timestamp, and no
+    span may be left open.  Returns the total line count; raises
+    ``ValueError`` naming the offending line on any violation.
+    """
+    open_spans: Dict[int, float] = {}
+    count = 0
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        count += 1
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {i}: not JSON ({exc})") from None
+        if not isinstance(rec, dict):
+            raise ValueError(f"line {i}: not a JSON object")
+        kind = rec.pop("kind", "trace")
+        if kind != "trace":
+            continue
+        ph = rec.get("ph")
+        if ph not in JSONL_KEYS:
+            raise ValueError(f"line {i}: unknown phase {ph!r}")
+        expected = set(JSONL_KEYS[ph])
+        if set(rec) != expected:
+            raise ValueError(
+                f"line {i}: fields {sorted(rec)} != expected "
+                f"{sorted(expected)} for phase {ph!r}"
+            )
+        if ph == "B":
+            open_spans[rec["sid"]] = rec["ts"]
+        elif ph == "E":
+            sid = rec["sid"]
+            if sid not in open_spans:
+                raise ValueError(f"line {i}: E for unopened span {sid}")
+            if rec["ts"] < open_spans.pop(sid):
+                raise ValueError(
+                    f"line {i}: span {sid} closes before it opens"
+                )
+    if open_spans:
+        raise ValueError(
+            f"spans never closed: {sorted(open_spans)[:6]}"
+        )
+    return count

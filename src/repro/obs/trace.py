@@ -52,6 +52,28 @@ PID_CONTROL = 1
 #: The control plane's single thread.
 CONTROL_TRACK = (PID_CONTROL, 0)
 
+#: In-memory span-count ceiling (see :class:`Tracer` ``max_spans``).
+#: Generous for bounded campaigns; long-horizon soaks must stream
+#: through :class:`~repro.obs.stream.SamplingTracer` instead.
+DEFAULT_MAX_SPANS = 1_000_000
+
+#: JSONL field names per raw-record kind, shared by
+#: :meth:`Tracer.export_jsonl` and the streaming sinks
+#: (:mod:`repro.obs.stream`), which emit the same record dialect
+#: incrementally.
+JSONL_KEYS = {
+    "B": ("ph", "ts", "pid", "tid", "sid", "name", "cat", "args", "parent"),
+    "E": ("ph", "ts", "pid", "tid", "sid", "args"),
+    "I": ("ph", "ts", "pid", "tid", "name", "cat", "args"),
+    "C": ("ph", "ts", "pid", "tid", "name", "values"),
+    "M": ("ph", "pid", "tid", "name", "value"),
+}
+
+
+def record_to_dict(rec: tuple) -> dict:
+    """One raw tracer record as its JSONL dict (stable field names)."""
+    return dict(zip(JSONL_KEYS[rec[0]], rec))
+
 
 class SpanError(ReproError):
     """A malformed span operation (unknown id, double close, ...)."""
@@ -107,7 +129,10 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        if max_spans <= 0:
+            raise ValueError("max_spans must be positive")
+        self.max_spans = max_spans
         self._records: List[tuple] = []
         self._next_sid = 0
         self._open: Dict[int, Span] = {}
@@ -131,6 +156,15 @@ class Tracer:
         """
         if parent is not None and parent not in self._spans:
             raise SpanError(f"span {name!r}: unknown parent {parent}")
+        if len(self._spans) >= self.max_spans:
+            raise SpanError(
+                f"tracer holds {len(self._spans)} spans (max_spans="
+                f"{self.max_spans}); a campaign this long must stream "
+                f"instead of accumulating — use repro.obs.SamplingTracer("
+                f"sample_every=k, sink=JsonlSink(path)) to head-sample "
+                f"heals and flush spans incrementally, or raise max_spans "
+                f"if you really want them all in memory"
+            )
         sid = self._next_sid
         self._next_sid += 1
         span = Span(
@@ -268,16 +302,8 @@ class Tracer:
 
     def export_jsonl(self, path: Optional[str] = None) -> str:
         """One JSON object per raw record — the streaming/grep form."""
-        keys = {
-            "B": ("ph", "ts", "pid", "tid", "sid", "name", "cat", "args",
-                  "parent"),
-            "E": ("ph", "ts", "pid", "tid", "sid", "args"),
-            "I": ("ph", "ts", "pid", "tid", "name", "cat", "args"),
-            "C": ("ph", "ts", "pid", "tid", "name", "values"),
-            "M": ("ph", "pid", "tid", "name", "value"),
-        }
         lines = [
-            json.dumps(dict(zip(keys[rec[0]], rec)), sort_keys=True,
+            json.dumps(record_to_dict(rec), sort_keys=True,
                        separators=(",", ":"))
             for rec in self._records
         ]

@@ -1,0 +1,42 @@
+"""soak — checkpointed long-horizon campaigns with streaming telemetry.
+
+The subsystem that turns bounded experiments into soaks you can leave
+running overnight and kill with impunity:
+
+* :mod:`repro.soak.checkpoint` — the durability layer: a deterministic
+  binary codec for the flat engine's snapshot state, content-addressed
+  object storage (identical states deduplicate), and a hash-chained
+  ``manifest.jsonl`` that :meth:`~repro.soak.checkpoint.SnapshotStore.verify`
+  re-derives end to end.
+* :mod:`repro.soak.service` — the campaign driver: windows of events
+  with per-window metrics, SLO watchdogs, sampled heal tracing, and a
+  checkpoint at every boundary; resume restores the engine, rebuilds
+  the diameter tracker, fast-forwards the workload generator, and
+  differentially cross-validates against the object-core oracle before
+  continuing.
+* :mod:`repro.soak.run` — the CLI (``python -m repro.soak.run``).
+
+See ``docs/SOAK.md`` for the checkpoint format, resume semantics, and
+the bisection workflow from an SLO alert to a replayable event window.
+"""
+
+from .checkpoint import (
+    GENESIS,
+    MAGIC,
+    CheckpointError,
+    SnapshotStore,
+    decode_state,
+    encode_state,
+)
+from .service import SoakConfig, SoakService
+
+__all__ = [
+    "GENESIS",
+    "MAGIC",
+    "CheckpointError",
+    "SnapshotStore",
+    "SoakConfig",
+    "SoakService",
+    "decode_state",
+    "encode_state",
+]

@@ -1,0 +1,166 @@
+"""``python -m repro.soak.run`` — the soak CLI.
+
+Fresh start::
+
+    PYTHONPATH=src python -m repro.soak.run --out /tmp/soak \\
+        --n0 100000 --events 500000 --window 10000 --seed 7 \\
+        --outage 200000:0.3:0.6 --flash 350000:5000:32
+
+Resume after a crash (or a SIGKILL — that is the point)::
+
+    PYTHONPATH=src python -m repro.soak.run --out /tmp/soak --resume
+
+``--resume`` reloads the campaign from ``<out>/config.json``, restores
+the latest checkpoint, cross-validates the restored engine against the
+object oracle over the next ``--crossval`` events, and continues until
+the configured event total.  Artifacts land in ``--out``:
+``telemetry.jsonl`` (+ rotations), ``checkpoints/`` (objects +
+hash-chained manifest), ``summary.json``, and — on an SLO breach — a
+flight-recorder dump naming the replayable event window.
+
+Exit codes: 0 success; 2 usage error (argparse); 3 checkpoint/
+cross-validation failure; 4 SLO breach under ``--fail-on-breach``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Tuple
+
+from ..core.errors import ReproError
+from .checkpoint import CheckpointError
+from .service import SoakConfig, SoakService
+
+
+def _parse_outage(text: str) -> Tuple[float, ...]:
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"outage must be AT:FRACTION[:REJOIN], got {text!r}"
+        )
+    return tuple(float(p) for p in parts)
+
+
+def _parse_flash(text: str) -> Tuple[int, ...]:
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"flash crowd must be AT:JOINERS[:WAVE], got {text!r}"
+        )
+    return tuple(int(p) for p in parts)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.soak.run",
+        description="checkpointed long-horizon churn soak "
+        "(module docstring has the full story)",
+    )
+    parser.add_argument("--out", required=True, help="campaign directory")
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from <out>/config.json + latest checkpoint",
+    )
+    parser.add_argument("--n0", type=int, default=1000)
+    parser.add_argument("--events", type=int, default=10_000,
+                        help="campaign event total (across all segments)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--branching", type=int, default=2)
+    parser.add_argument("--will-mode", default="splice",
+                        choices=("splice", "rebuild"))
+    parser.add_argument("--window", type=int, default=1000,
+                        help="events per telemetry/SLO window")
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        help="windows between checkpoints")
+    parser.add_argument("--crossval", type=int, default=200,
+                        help="events replayed vs the oracle on resume")
+    parser.add_argument("--sample-every", type=int, default=100,
+                        help="trace 1-in-k heals (0 = tracing off)")
+    parser.add_argument("--outage", type=_parse_outage, action="append",
+                        default=[], metavar="AT:FRACTION[:REJOIN]")
+    parser.add_argument("--flash", type=_parse_flash, action="append",
+                        default=[], metavar="AT:JOINERS[:WAVE]")
+    parser.add_argument("--slo-max-stretch", type=float, default=64.0)
+    parser.add_argument("--slo-p99-messages", type=float, default=200.0)
+    parser.add_argument("--slo-min-events-per-sec", type=float, default=0.0)
+    parser.add_argument("--fail-on-breach", action="store_true",
+                        help="exit 4 if any SLO window breached")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config_path = os.path.join(args.out, "config.json")
+    if args.resume:
+        if not os.path.exists(config_path):
+            print(f"error: --resume but no {config_path}", file=sys.stderr)
+            return 3
+        config = SoakConfig.load(config_path)
+    else:
+        if os.path.exists(os.path.join(args.out, "checkpoints", "manifest.jsonl")):
+            print(
+                f"error: {args.out} already holds a campaign "
+                f"(use --resume to continue it)",
+                file=sys.stderr,
+            )
+            return 3
+        config = SoakConfig(
+            out_dir=args.out,
+            n0=args.n0,
+            events=args.events,
+            seed=args.seed,
+            branching=args.branching,
+            will_mode=args.will_mode,
+            window=args.window,
+            checkpoint_every=args.checkpoint_every,
+            crossval=args.crossval,
+            sample_every=args.sample_every,
+            outages=tuple(args.outage),
+            flash_crowds=tuple(args.flash),
+            slo_max_stretch=args.slo_max_stretch,
+            slo_p99_messages=args.slo_p99_messages,
+            slo_min_events_per_sec=args.slo_min_events_per_sec,
+        )
+    service = SoakService(config)
+    try:
+        summary = service.run()
+    except (CheckpointError, ReproError) as exc:
+        print(f"soak failed: {exc}", file=sys.stderr)
+        return 3
+    det, op = summary["deterministic"], summary["op"]
+    if not args.quiet:
+        cv = det["crossval"]
+        print(
+            f"soak: {det['events_total']}/{det['events_target']} events "
+            f"({det['segment_events']} this segment), "
+            f"{det['windows']} windows, {det['checkpoints']} checkpoints, "
+            f"{det['final_alive']} alive"
+        )
+        print(
+            f"      peak ddeg {det['peak_degree_increase']}, "
+            f"peak stretch {det['peak_stretch']:.2f}, "
+            f"alerts {det['alerts']}, "
+            f"traced heals {det['traced_heals']}"
+        )
+        if cv:
+            print(f"      resume cross-validation: {cv['events']} events ok")
+        print(
+            f"      {op['events_per_sec']:.0f} events/s, "
+            f"RSS {op['rss_kb_start']} -> {op['rss_kb_end']} kB "
+            f"(peak {op['rss_kb_peak']})"
+        )
+        if det["recorder_dump"]:
+            print(f"      SLO breach dump: {det['recorder_dump']}")
+        print(json.dumps({"summary": os.path.join(config.out_dir, 'summary.json')}))
+    if args.fail_on_breach and det["slo_breached"]:
+        return 4
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
