@@ -38,6 +38,7 @@ from .churn import (
     ChurnAdversary,
     DeletionOnlyChurnAdversary,
     GrowthThenMassacreAdversary,
+    HostileChurnAdversary,
     OscillatingChurnAdversary,
     OverlapChurnAdversary,
     RandomChurnAdversary,
@@ -81,6 +82,7 @@ __all__ = [
     "DiameterGreedyAdversary",
     "FixedOrderAdversary",
     "GrowthThenMassacreAdversary",
+    "HostileChurnAdversary",
     "MaxDegreeAdversary",
     "MinDegreeAdversary",
     "OscillatingChurnAdversary",

@@ -410,6 +410,77 @@ class OverlapChurnAdversary(ChurnAdversary):
         self._coordinators = []
 
 
+class HostileChurnAdversary(ChurnAdversary):
+    """Deletion-heavy hot-region churn, tuned for hostile networks.
+
+    The fault subsystem's companion adversary (``faults=`` campaigns):
+    where :class:`OverlapChurnAdversary` maximizes *admission* conflict,
+    this one maximizes what a lossy, crashing network stresses —
+    deletions dominate (each one fans a heal out over links that drop
+    and duplicate, and every heal is a crash-during-heal target), and
+    victims concentrate in a slowly drifting **hot region** (the ball
+    around recent victims' survivors), so repeated heals rework the
+    same overlay neighborhood that a crash may have just corrupted and
+    a repair pass just rebuilt.  ``p_insert`` keeps a trickle of joins
+    so the network does not simply evaporate; attachment points land in
+    the hot region too.
+    """
+
+    name = "hostile-churn"
+
+    def __init__(
+        self,
+        p_insert: float = 0.1,
+        p_hot: float = 0.75,
+        spread: int = 4,
+        radius: int = 2,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        for label, p in (("p_insert", p_insert), ("p_hot", p_hot)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{label} must be within [0, 1]")
+        if spread < 1 or radius < 0:
+            raise ValueError("spread must be >= 1 and radius >= 0")
+        self.p_insert = p_insert
+        self.p_hot = p_hot
+        self.spread = spread
+        self.radius = radius
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._recent: list = []
+
+    def _remember(self, center: int, graph) -> None:
+        neighbors = sorted(m for m in graph.get(center, ()) if m != center)
+        self._recent.append((center, *neighbors[:3]))
+        if len(self._recent) > self.spread:
+            self._recent.pop(0)
+
+    def _pick(self, healer: Healer, alive: list) -> int:
+        graph = healer.graph()
+        if self._rng.random() < self.p_hot and self._recent:
+            anchors = [a for group in self._recent for a in group]
+            hot = sorted(region_ball(graph, anchors, self.radius) & set(alive))
+            choice = self._rng.choice(hot if hot else alive)
+        else:
+            choice = self._rng.choice(alive)
+        self._remember(choice, graph)
+        return choice
+
+    def next_event(self, healer: Healer) -> ChurnEvent:
+        alive = sorted(healer.alive)
+        if not alive:
+            raise SimulationOverError("network is empty")
+        if len(alive) <= 1 or self._rng.random() < self.p_insert:
+            return Insert(self._fresh_id(healer), self._pick(healer, alive))
+        return Delete(self._pick(healer, alive))
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self.seed)
+        self._recent = []
+
+
 class GrowthThenMassacreAdversary(ChurnAdversary):
     """``growth`` joins first, then pure deletions chosen by ``killer``.
 
@@ -547,6 +618,7 @@ CHURN_ADVERSARY_CATALOG = {
         WaveChurnAdversary,
         ScatterChurnAdversary,
         OverlapChurnAdversary,
+        HostileChurnAdversary,
         GrowthThenMassacreAdversary,
         OscillatingChurnAdversary,
         TraceReplayAdversary,

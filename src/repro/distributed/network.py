@@ -29,13 +29,21 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class RoundStats:
-    """Communication accounting for one heal round."""
+    """Communication accounting for one heal round.
+
+    ``dead_drops`` counts messages whose recipient was gone at delivery
+    time (deleted this round, or crashed without announcing) — dropped
+    permanently, but never silently: the reliable-delivery layer of the
+    async kernel retransmits *lost* messages, and this tally is how it
+    (and the tests) distinguish "recipient dead" from "message lost".
+    """
 
     round: int
     sub_rounds: int = 0
     sent: Dict[int, int] = field(default_factory=dict)
     received: Dict[int, int] = field(default_factory=dict)
     bits: int = 0
+    dead_drops: int = 0
 
     @property
     def total_messages(self) -> int:
@@ -110,7 +118,10 @@ class Network:
             for message in batch:
                 node = self.nodes.get(message.recipient)
                 if node is None:
-                    continue  # recipient died this round; message dropped
+                    # Recipient died this round; the drop is counted,
+                    # never silent (see RoundStats.dead_drops).
+                    stats.dead_drops += 1
+                    continue
                 stats.received[message.recipient] = (
                     stats.received.get(message.recipient, 0) + 1
                 )

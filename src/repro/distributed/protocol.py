@@ -230,6 +230,50 @@ class DistributedForgivingTree:
                     f"node {nid} still awaiting {sorted(node.pending)}"
                 )
 
+    def integrity_violations(self) -> List[Tuple[str, int, str]]:
+        """Protocol-specific corruption scan for the repair pass.
+
+        Unlike :meth:`_check_quiescent` / ``image_edges`` (which *raise*
+        at the first illegality), this tolerantly enumerates everything
+        wrong with the current overlay: heals frozen halfway (pending
+        obligations that will never clear because the messages died
+        with a crashed sender) and dangling pointers — real-position,
+        helper-role, will stand-in, or deposited leaf-will references
+        naming a node that no longer exists.  Returns
+        ``(kind, node, detail)`` tuples in the
+        :data:`repro.faults.VIOLATION_KINDS` taxonomy.
+        """
+        out: List[Tuple[str, int, str]] = []
+        alive = set(self.network.nodes)
+        for nid, node in self.network.nodes.items():
+            if node.pending:
+                out.append(
+                    (
+                        "half-applied-heal",
+                        nid,
+                        f"awaiting {sorted(node.pending)}",
+                    )
+                )
+            refs: List[Tuple[str, int]] = []
+            if node.parent_ref is not None:
+                refs.append(("parent_ref", node.parent_ref[0]))
+            refs.extend(("will", s) for s in node.will.stand_ins)
+            if node.role is not None:
+                if node.role.hparent is not None:
+                    refs.append(("role.hparent", node.role.hparent[0]))
+                refs.extend(("role.hchild", c[0]) for c in node.role.hchildren)
+            refs.extend(("leaf_will", holder) for holder in node.leaf_wills)
+            for where, ref in refs:
+                if ref != nid and ref not in alive:
+                    out.append(
+                        (
+                            "dangling-pointer",
+                            nid,
+                            f"{where} names dead node {ref}",
+                        )
+                    )
+        return out
+
     # ------------------------------------------------------------------
     def edges(self) -> Set[Tuple[int, int]]:
         """Current overlay from both endpoints' local state (validated)."""

@@ -1,0 +1,33 @@
+"""faults — the hostile-network subsystem.
+
+Fault injection (per-link drop/duplicate probabilities, crash-during-
+heal adversaries) layered on the simnet kernel, the timeout/retransmit
+reliable-delivery layer that survives it, and the self-stabilizing
+:class:`RepairPass` that re-converges arbitrarily corrupted overlay
+state to the sequential oracle.  See ``docs/FAULTS.md``.
+"""
+
+from .plan import (
+    CRASH_TARGETS,
+    CrashDuringHeal,
+    FaultInput,
+    FaultPlan,
+    FaultSummary,
+    LinkFaults,
+    resolve_faults,
+)
+from .repair import VIOLATION_KINDS, RepairPass, RepairReport, Violation
+
+__all__ = [
+    "CRASH_TARGETS",
+    "VIOLATION_KINDS",
+    "CrashDuringHeal",
+    "FaultInput",
+    "FaultPlan",
+    "FaultSummary",
+    "LinkFaults",
+    "RepairPass",
+    "RepairReport",
+    "Violation",
+    "resolve_faults",
+]

@@ -1,0 +1,218 @@
+"""Fault plans: the declarative description of a hostile network.
+
+The papers assume a *reliable* network — every message delivered exactly
+once, every node announcing its own death.  A :class:`FaultPlan` drops
+that assumption as data: per-link loss and duplication probabilities
+(seeded and deterministic, drawn from a dedicated RNG stream so the
+latency and scheduler draws are untouched), the timeout/retransmit
+parameters the kernel's reliable-delivery layer uses to survive the
+loss, and a schedule of :class:`CrashDuringHeal` adversaries that kill a
+coordinator or participant *between delivery layers* mid-heal.
+
+The plan is pure configuration: the machinery lives in
+:class:`~repro.simnet.AsyncNetwork` (loss/duplication/retransmit/crash
+at the delivery layer — both distributed runtimes experience faults
+without code changes) and :class:`repro.faults.RepairPass` (the
+self-stabilizing recovery that re-converges a crashed overlay to the
+oracle).  See ``docs/FAULTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+#: Who a :class:`CrashDuringHeal` kills: the heal's coordinator (the
+#: node the protocols elect to anchor the repair) or a deterministic
+#: non-coordinator participant of the heal footprint.
+CRASH_TARGETS = ("coordinator", "participant")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link override of the plan's global drop/dup probabilities."""
+
+    drop: float = 0.0
+    dup: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability("drop", self.drop, strict=True)
+        _check_probability("dup", self.dup)
+
+
+@dataclass(frozen=True)
+class CrashDuringHeal:
+    """Kill one node mid-heal, between delivery layers.
+
+    ``event`` is the campaign event index whose heal is attacked;
+    ``layer`` the causal depth after which the crash fires (the victim
+    dies at the first delivery deeper than ``layer``, or at quiescence
+    if the heal never gets that deep — the crash always lands);
+    ``target`` picks the victim (:data:`CRASH_TARGETS`).  The victim
+    does *not* announce its death: in-flight messages to it become
+    dead-recipient drops and its neighbors' state dangles until the
+    repair pass runs.
+    """
+
+    event: int
+    layer: int = 1
+    target: str = "coordinator"
+
+    def __post_init__(self) -> None:
+        if self.event < 0:
+            raise ValueError("crash event index must be >= 0")
+        if self.layer < 0:
+            raise ValueError("crash layer must be >= 0")
+        if self.target not in CRASH_TARGETS:
+            raise ValueError(
+                f"unknown crash target {self.target!r} (one of {CRASH_TARGETS})"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One campaign's hostile-network configuration (see module doc).
+
+    ``drop`` / ``dup`` are the global per-message probabilities; ``links``
+    overrides them per directed ``(sender, recipient)`` pair.  ``rto``,
+    ``backoff`` and ``max_attempts`` parameterize the reliable-delivery
+    layer: a message lost ``k`` times is retransmitted after
+    ``rto * backoff**i`` for each failed attempt ``i`` (``max_attempts``
+    caps the attempts, so delivery always terminates and ``drop`` may
+    approach 1).  ``seen_window`` bounds each recipient's duplicate-
+    suppression memory of ``(sender, sequence)`` pairs.  ``seed=None``
+    derives the fault RNG stream from the kernel seed (stream 3 —
+    disjoint from the latency and scheduler streams), so one campaign
+    seed still fixes the whole run.
+    """
+
+    drop: float = 0.0
+    dup: float = 0.0
+    links: Mapping[Tuple[int, int], LinkFaults] = field(default_factory=dict)
+    crashes: Tuple[CrashDuringHeal, ...] = ()
+    rto: float = 1.0
+    backoff: float = 2.0
+    max_attempts: int = 16
+    seen_window: int = 4096
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_probability("drop", self.drop, strict=True)
+        _check_probability("dup", self.dup)
+        if self.rto <= 0:
+            raise ValueError("rto must be > 0")
+        if self.backoff < 1:
+            raise ValueError("backoff must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.seen_window < 1:
+            raise ValueError("seen_window must be >= 1")
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        for crash in self.crashes:
+            if not isinstance(crash, CrashDuringHeal):
+                raise ValueError(f"not a CrashDuringHeal: {crash!r}")
+        seen_events = [c.event for c in self.crashes]
+        if len(seen_events) != len(set(seen_events)):
+            raise ValueError("at most one crash per campaign event")
+        for link, faults in dict(self.links).items():
+            if not isinstance(faults, LinkFaults):
+                raise ValueError(f"link {link}: not a LinkFaults: {faults!r}")
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault mode is actually on."""
+        return bool(
+            self.drop or self.dup or self.links or self.crashes
+        )
+
+    def link(self, sender: int, recipient: int) -> Tuple[float, float]:
+        """The effective ``(drop, dup)`` probabilities for one send."""
+        override = self.links.get((sender, recipient))
+        if override is not None:
+            return override.drop, override.dup
+        return self.drop, self.dup
+
+    def crash_for(self, event_index: int) -> Optional[CrashDuringHeal]:
+        """The crash scheduled for this campaign event, if any."""
+        for crash in self.crashes:
+            if crash.event == event_index:
+                return crash
+        return None
+
+    def retransmit_delay(self, lost_attempts: int) -> float:
+        """Virtual time the reliable-delivery layer spends re-sending a
+        message that was lost ``lost_attempts`` times: one exponentially
+        backed-off timeout per failed attempt."""
+        return sum(self.rto * self.backoff ** i for i in range(lost_attempts))
+
+
+FaultInput = Union[None, FaultPlan, Mapping[str, object]]
+
+
+def resolve_faults(faults: FaultInput) -> Optional[FaultPlan]:
+    """Normalize the ``faults=`` knob into a plan (or None = reliable)."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return faults
+    if isinstance(faults, Mapping):
+        return FaultPlan(**faults)
+    raise ValueError(
+        f"faults must be a FaultPlan or a kwargs mapping, not {faults!r}"
+    )
+
+
+@dataclass
+class FaultSummary:
+    """What a faulted campaign's transport observed, campaign-wide.
+
+    ``drops`` counts lost transmission attempts and ``retransmissions``
+    the re-sends that recovered them — equal by construction (every loss
+    is retried until a copy lands; the ``max_attempts`` cap bounds the
+    count but the final attempt always delivers), the exact-parity
+    invariant the tests pin.  ``dead_drops`` are deliveries to crashed
+    or departed recipients — *not* retransmitted (the recipient is gone,
+    not the message).  ``violations`` counts the corrupted-state
+    findings of the repair passes that ran; ``unrepaired_violations``
+    stays 0 on a converged campaign (the SLO watchdogs budget it).
+    """
+
+    drops: int = 0
+    retransmissions: int = 0
+    duplicates: int = 0
+    dup_suppressed: int = 0
+    dead_drops: int = 0
+    crashes: int = 0
+    handler_faults: int = 0
+    repairs: int = 0
+    violations: int = 0
+    unrepaired_violations: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def window_record(self, events: int) -> Dict[str, object]:
+        """The tallies as an SLO-watchdog window record.
+
+        Shaped for :func:`repro.obs.slo.fault_slos`: the raw counters
+        under ``"faults."`` plus the derived rates the budgets compare
+        against (``dup_leak`` is duplicates the seen-window failed to
+        suppress — 0 unless a window overflowed or a duplicate raced
+        its original's crash).
+        """
+        n = max(1, events)
+        d = dict(self.to_dict())
+        d["retransmissions_per_event"] = self.retransmissions / n
+        d["dup_leak"] = self.duplicates - self.dup_suppressed
+        d["retransmit_deficit"] = self.drops - self.retransmissions
+        return {"events": events, "faults": d}
+
+
+def _check_probability(name: str, value: float, strict: bool = False) -> None:
+    if strict:
+        # drop=1.0 would loop the retransmit layer to max_attempts on
+        # every message; demand headroom.
+        if not 0.0 <= value < 1.0:
+            raise ValueError(f"{name} must be within [0, 1)")
+    elif not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1]")

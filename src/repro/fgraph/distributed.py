@@ -493,6 +493,53 @@ class DistributedForgivingGraph:
                     f"node {nid} still awaiting {sorted(node.pending)}"
                 )
 
+    def integrity_violations(self) -> List[Tuple[str, int, str]]:
+        """Protocol-specific corruption scan for the repair pass.
+
+        The tolerant mirror of :meth:`_check_quiescent` / ``image_edges``:
+        enumerates every illegality instead of raising at the first —
+        coordinators frozen mid-gather (their reports died with a
+        crashed sender) and dangling pointers (direct edges,
+        insertion-forest parents, RT helper links or portion-parent
+        sims naming a node that no longer exists).  Returns
+        ``(kind, node, detail)`` tuples in the
+        :data:`repro.faults.VIOLATION_KINDS` taxonomy.
+        """
+        out: List[Tuple[str, int, str]] = []
+        alive = set(self.network.nodes)
+        for nid, node in self.network.nodes.items():
+            if node.pending:
+                out.append(
+                    (
+                        "half-applied-heal",
+                        nid,
+                        f"awaiting {sorted(node.pending)}",
+                    )
+                )
+            refs: List[Tuple[str, int]] = [
+                ("direct", d) for d in sorted(node.direct)
+            ]
+            if node.ins_parent is not None:
+                refs.append(("ins_parent", node.ins_parent))
+            if node.port_parent_sim is not None:
+                refs.append(("port_parent_sim", node.port_parent_sim))
+            if node.helper is not None:
+                parent, left, right = node.helper
+                if parent is not None:
+                    refs.append(("helper.parent", parent[0]))
+                refs.append(("helper.left", left[0]))
+                refs.append(("helper.right", right[0]))
+            for where, ref in refs:
+                if ref != nid and ref not in alive:
+                    out.append(
+                        (
+                            "dangling-pointer",
+                            nid,
+                            f"{where} names dead node {ref}",
+                        )
+                    )
+        return out
+
     # ------------------------------------------------------------------
     def edges(self) -> Set[Tuple[int, int]]:
         """Current overlay from both endpoints' local state (validated)."""

@@ -12,7 +12,7 @@ Campaigns power every benchmark table.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..adversaries.base import Adversary
@@ -21,6 +21,7 @@ from ..baselines.base import Healer
 from ..churn.events import Delete, Insert, InsertWave
 from ..core.errors import NotATreeError, ReproError, SimulationOverError
 from ..core.events import HealReport
+from ..faults.plan import FaultInput, FaultSummary, resolve_faults
 from ..graphs.adjacency import Graph, is_connected, max_degree
 from ..graphs.incremental import DynamicTreeMetrics
 from ..graphs.metrics import diameter_double_sweep, diameter_exact
@@ -40,7 +41,10 @@ class RoundRecord:
 
     ``deleted`` is ``-1`` on insertion rounds; ``inserted`` is ``None``
     on deletion rounds (and on batch waves); ``event`` names the kind
-    either way; ``wave_size`` is non-zero only for batch insert waves.
+    either way — ``"crash"`` marks the extra oracle deletion a planned
+    transport crash forced (the victim died silently in the distributed
+    runtime; the oracle catches up so the repair pass has a target).
+    ``wave_size`` is non-zero only for batch insert waves.
     ``stretch`` is ``diameter / initial_diameter`` when both are
     measurable (the paper's Model 2.1 metric 2, tracked per round).
     """
@@ -210,7 +214,7 @@ class CampaignResult:
         self._all_connected = self._all_connected and record.connected
         if record.event == "insert":
             self._n_inserts += 1
-        else:
+        elif record.event == "delete":
             self._n_deletes += 1
         self._last_alive = record.alive
 
@@ -269,6 +273,11 @@ class CampaignResult:
     def net_growth(self) -> int:
         """Alive-set change over the whole campaign (can be negative)."""
         return self.final_alive - self.n0
+
+    @property
+    def faults(self) -> Optional[FaultSummary]:
+        """Hostile-network tallies (``faults=`` campaigns only)."""
+        return self.transport.faults if self.transport is not None else None
 
     def series(self, attr: str) -> List:
         """Extract one column as a list (for figure-style output).
@@ -348,12 +357,61 @@ def _make_mirror(
     transport: TransportInput,
     seed: int,
     obs_state: Optional[ObsState] = None,
+    faults: FaultInput = None,
 ) -> Optional[TransportMirror]:
-    """Resolve the ``transport=`` knob into a live mirror (or None)."""
+    """Resolve the ``transport=`` knob into a live mirror (or None).
+
+    ``faults`` folds a hostile-network plan into the transport spec; it
+    needs a live async mirror to mean anything, so a plan without one
+    raises rather than silently running a reliable campaign.
+    """
     spec = resolve_transport(transport, seed=seed)
+    plan = resolve_faults(faults)
+    if plan is not None:
+        if spec is None or spec.mode != "async":
+            raise ValueError(
+                "faults= needs an async transport "
+                "(transport='async' or 'lease')"
+            )
+        spec = replace(spec, faults=plan)
     if spec is None:
         return None
     return TransportMirror(healer, spec, obs=obs_state)
+
+
+def _recover_crash(
+    mirror: TransportMirror,
+    healer: Healer,
+    obs_state: Optional[ObsState],
+    meter: "_DiameterMeter",
+    d0: int,
+    t: int,
+    result: CampaignResult,
+    keep_rounds: bool,
+    on_round: Optional[Callable[[RoundRecord, Healer], None]],
+) -> None:
+    """A planned crash fired in the transport mirror.
+
+    The victim is dead in the distributed runtime but still alive in the
+    oracle: apply the death to the oracle as an extra, adversary-
+    invisible deletion, hand the resulting report to the mirror's repair
+    pass (reset-replay + node-for-node re-validation), and record the
+    round as ``event="crash"`` so the incremental metrics tracker stays
+    in step with the oracle overlay.
+    """
+    report = _oracle_step(
+        obs_state, "oracle:delete", healer.delete, mirror.pending_crash
+    )
+    mirror.recover_from_crash(report)
+    record = _record_round(t, report, healer, meter, d0)
+    record.event = "crash"
+    result.fold(record)
+    if keep_rounds:
+        result.rounds.append(record)
+    if obs_state is not None and obs_state.metrics is not None:
+        _stream_round(obs_state.metrics, record)
+    if on_round is not None:
+        on_round(record, healer)
 
 
 def _make_obs(obs: ObsInput, transport: TransportInput) -> Optional[ObsState]:
@@ -390,7 +448,8 @@ def _oracle_step(obs_state: Optional[ObsState], phase: str, fn, *args):
 def _stream_round(registry, record: RoundRecord) -> None:
     """Fold one round's record into the streaming metrics (O(1) memory)."""
     registry.counter("campaign.rounds").inc()
-    registry.counter(f"campaign.{record.event}s").inc()
+    plural = "crashes" if record.event == "crash" else f"{record.event}s"
+    registry.counter(f"campaign.{plural}").inc()
     registry.gauge("campaign.alive").set(record.alive)
     registry.histogram("campaign.messages").observe(record.total_messages)
     if record.diameter is not None:
@@ -410,6 +469,7 @@ def run_campaign(
     transport: TransportInput = None,
     obs: ObsInput = None,
     keep_rounds: bool = True,
+    faults: FaultInput = None,
 ) -> CampaignResult:
     """Play the Delete and Repair game.
 
@@ -460,6 +520,16 @@ def run_campaign(
         streaming aggregates instead of being stored — O(1) memory for
         million-event campaigns; ``rounds``/``series()`` are then empty
         but every peak/count property reports the same values.
+    faults:
+        A :class:`~repro.faults.FaultPlan` (or kwargs mapping) turning
+        the mirrored network hostile: seeded message loss absorbed by
+        the timeout/retransmit layer, duplication cancelled by
+        seen-windows, and planned crash-during-heal kills recovered by
+        the self-stabilizing repair pass.  Needs an async ``transport``;
+        the tallies land on :attr:`CampaignResult.faults`.  The oracle
+        and adversary never see the faults (their streams are identical
+        across fault plans) — except a planned crash, which the oracle
+        absorbs as one extra ``event="crash"`` deletion round.
     """
     initial = healer.graph()
     n0 = len(initial)
@@ -475,7 +545,7 @@ def run_campaign(
         initial_max_degree=max_degree(initial),
     )
     obs_state = _make_obs(obs, transport)
-    mirror = _make_mirror(healer, transport, seed, obs_state)
+    mirror = _make_mirror(healer, transport, seed, obs_state, faults)
     adversary.reset()
     budget = rounds if rounds is not None else n0 - 1
     for t in range(budget):
@@ -496,6 +566,11 @@ def run_campaign(
             _stream_round(obs_state.metrics, record)
         if on_round is not None:
             on_round(record, healer)
+        if mirror is not None and mirror.pending_crash is not None:
+            _recover_crash(
+                mirror, healer, obs_state, meter, d0, t, result,
+                keep_rounds, on_round,
+            )
     if mirror is not None:
         result.transport = mirror.finish()
     if obs_state is not None:
@@ -543,6 +618,7 @@ def run_churn_campaign(
     obs: ObsInput = None,
     keep_rounds: bool = True,
     metrics_tracker: Optional[DynamicTreeMetrics] = None,
+    faults: FaultInput = None,
 ) -> CampaignResult:
     """Play the churn game: a mixed insert/delete stream against one healer.
 
@@ -581,6 +657,10 @@ def run_churn_campaign(
     the fresh-start tree gate would reject.  The caller owns making the
     tracker match the healer's overlay (the soak service rebuilds it
     from the snapshot's ``parent_state``).
+
+    ``faults`` attaches a hostile-network plan (loss, duplication,
+    crash-during-heal) to the mirrored transport — see
+    :func:`run_campaign`.
     """
     initial = healer.graph()
     n0 = len(initial)
@@ -599,7 +679,7 @@ def run_churn_campaign(
         initial_max_degree=max_degree(initial),
     )
     obs_state = _make_obs(obs, transport)
-    mirror = _make_mirror(healer, transport, seed, obs_state)
+    mirror = _make_mirror(healer, transport, seed, obs_state, faults)
     adversary.reset()
     for t in range(events):
         if not healer.alive:
@@ -638,6 +718,11 @@ def run_churn_campaign(
             _stream_round(obs_state.metrics, record)
         if on_round is not None:
             on_round(record, healer)
+        if mirror is not None and mirror.pending_crash is not None:
+            _recover_crash(
+                mirror, healer, obs_state, meter, d0, t, result,
+                keep_rounds, on_round,
+            )
     if mirror is not None:
         result.transport = mirror.finish()
     if obs_state is not None:

@@ -32,7 +32,14 @@ from .histogram import DEFAULT_GROWTH, LogHistogram
 from .metrics import Counter, Gauge, MetricsRegistry
 from .profile import PhaseProfiler
 from .recorder import FlightRecorder
-from .slo import SLO_OPS, SloAlert, SloSpec, SloWatchdog, default_slos
+from .slo import (
+    SLO_OPS,
+    SloAlert,
+    SloSpec,
+    SloWatchdog,
+    default_slos,
+    fault_slos,
+)
 from .spec import OBS_MODES, ObsInput, ObsSpec, ObsState, ObsSummary, resolve_obs
 from .stream import (
     JsonlSink,
@@ -92,6 +99,7 @@ __all__ = [
     "Tracer",
     "WindowedSink",
     "default_slos",
+    "fault_slos",
     "record_to_dict",
     "resolve_obs",
     "validate_trace_jsonl",

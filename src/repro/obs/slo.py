@@ -228,3 +228,53 @@ def default_slos(
             description="throughput floor (machine-dependent; 0 = off)",
         ),
     )
+
+
+def fault_slos(
+    retransmissions_per_event: float = 8.0,
+) -> Tuple[SloSpec, ...]:
+    """Budgets for hostile-network (``faults=``) campaigns.
+
+    Evaluated against :meth:`repro.faults.FaultSummary.window_record`
+    (the soak/CI fault-smoke path feeds one record per campaign).  Two
+    of the three are *correctness* budgets with zero headroom: every
+    loss must have been retransmitted (``retransmit_deficit == 0``) and
+    every network duplicate suppressed (``dup_leak == 0``) — a breach
+    means the reliable-delivery layer leaked, not that the network was
+    unlucky.  Unrepaired violations breaching means a repair pass left
+    the overlay corrupt, which the transport mirror should already have
+    raised on; the SLO is the independent alarm.  The retransmission
+    rate is the one operational budget (tune it to the plan's drop
+    probability: expected re-sends/event ≈ messages/event · p/(1-p)).
+    """
+    return (
+        SloSpec(
+            name="retransmit-parity",
+            metric="faults.retransmit_deficit",
+            op="<=",
+            threshold=0,
+            description="every lost attempt was retransmitted",
+        ),
+        SloSpec(
+            name="dup-suppression",
+            metric="faults.dup_leak",
+            op="<=",
+            threshold=0,
+            description="every network duplicate was suppressed",
+        ),
+        SloSpec(
+            name="repair-convergence",
+            metric="faults.unrepaired_violations",
+            op="<=",
+            threshold=0,
+            description="repair passes left no residual violations",
+        ),
+        SloSpec(
+            name="retransmit-rate",
+            metric="faults.retransmissions_per_event",
+            op="<=",
+            threshold=retransmissions_per_event,
+            min_events=10,
+            description="retransmission overhead stays budgeted",
+        ),
+    )

@@ -42,7 +42,11 @@ from ..obs.trace import CONTROL_TRACK, NO_TRACE
 from .leases import Priority
 
 #: Escalation reasons the transport may record (ISSUE-mandated triggers).
-ESCALATION_REASONS = ("coordinator-death", "lease-cycle", "wait-chain")
+#: ``"crash"`` is the hostile-network one: a :class:`repro.faults`
+#: crash-during-heal kills an in-flight coordinator, so delegation is
+#: impossible and the event escalates to the global barrier (the heal
+#: then injects with the crash armed and the repair pass re-converges).
+ESCALATION_REASONS = ("coordinator-death", "lease-cycle", "wait-chain", "crash")
 
 REQUESTED = "requested"
 GRANTED = "granted"

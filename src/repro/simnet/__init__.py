@@ -5,6 +5,14 @@ priority-queue scheduler, per-link latency models, scheduler
 adversaries, and *concurrent churn*: several heals in flight at once,
 checkpointed by quiesce barriers and cross-validated against the
 sequential engines.  See ``docs/ASYNC.md``.
+
+The kernel also hosts the hostile-network fault plane
+(:mod:`repro.faults`): attach a
+:class:`~repro.faults.FaultPlan` via ``TransportSpec(faults=...)`` (or
+the campaign runners' ``faults=`` knob) for seeded message loss
+absorbed by a timeout/retransmit layer, duplication cancelled by
+seen-windows, and crash-during-heal kills recovered by the
+self-stabilizing repair pass.  See ``docs/FAULTS.md``.
 """
 
 from .kernel import AsyncNetwork, Envelope, HealStats

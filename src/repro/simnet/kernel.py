@@ -45,13 +45,16 @@ of the injected events.  Tests pin this by comparing event logs.
 from __future__ import annotations
 
 import math
+import random
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.errors import ProtocolError
 from ..distributed.messages import Message
 from ..distributed.network import Network, RoundStats
+from ..faults.plan import FaultPlan
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import PhaseProfiler
 from ..obs.trace import CONTROL_TRACK, NO_TRACE, PID_PROTOCOL
@@ -61,13 +64,20 @@ from .scheduler import SchedulerSpec, resolve_scheduler
 
 @dataclass(eq=False)
 class Envelope:
-    """One queued message: arrival time, send order, and causal tag."""
+    """One queued message: arrival time, send order, and causal tag.
+
+    ``send_seq`` is the reliable-delivery layer's per-sender sequence
+    number (``-1`` when no fault plan is attached): duplicate copies of
+    one logical send share it, and recipients suppress the later copy
+    by remembering ``(sender, send_seq)`` pairs in their seen-window.
+    """
 
     deliver_at: float
     seq: int
     message: Message
     heal: int
     depth: int
+    send_seq: int = -1
 
 
 @dataclass
@@ -83,12 +93,27 @@ class HealStats(RoundStats):
     inject (its footprint was leased to an in-flight repair);
     ``requested_at`` records that moment and ``lease_wait`` the time the
     event spent queued on the blocking coordinator.
+
+    The fault tallies (all zero on a reliable network) count the
+    hostile-network traffic *separately* from the base ``sent`` /
+    ``received`` dicts, which keep exact parity with the sequential
+    oracle's per-node tallies: ``dropped`` lost transmission attempts,
+    ``retransmitted`` the per-sender re-sends that recovered them
+    (equal in total, by construction), ``duplicated`` network-injected
+    copies and ``dup_suppressed`` the seen-window discards that cancel
+    them, ``handler_faults`` protocol errors swallowed inside a heal
+    whose coordinator crashed (the repair pass owns that state).
     """
 
     injected_at: float = 0.0
     quiesced_at: float = 0.0
     label: str = ""
     requested_at: Optional[float] = None
+    dropped: int = 0
+    retransmitted: Dict[int, int] = field(default_factory=dict)
+    duplicated: int = 0
+    dup_suppressed: int = 0
+    handler_faults: int = 0
 
     @property
     def heal_latency(self) -> float:
@@ -100,6 +125,10 @@ class HealStats(RoundStats):
         if self.requested_at is None:
             return 0.0
         return self.injected_at - self.requested_at
+
+    @property
+    def total_retransmissions(self) -> int:
+        return sum(self.retransmitted.values())
 
 
 class AsyncNetwork(Network):
@@ -138,6 +167,15 @@ class AsyncNetwork(Network):
         A :class:`~repro.obs.MetricsRegistry`; the kernel streams
         per-heal latency/depth histograms and delivery counters into it
         (O(1) memory however long the campaign runs).
+    faults:
+        A :class:`~repro.faults.FaultPlan` turning the network hostile:
+        per-link loss (absorbed by the timeout/retransmit layer as
+        virtual-time delay plus ``retransmitted`` tallies), duplication
+        (cancelled by per-recipient seen-windows), and armed
+        crash-during-heal kills (:meth:`arm_crash`).  The fault RNG is
+        its own seeded stream (``2*seed+3`` unless the plan pins one),
+        disjoint from the latency and scheduler streams, so a fault
+        plan never perturbs the reliable part of the run.
     """
 
     def __init__(
@@ -151,12 +189,18 @@ class AsyncNetwork(Network):
         tracer=NO_TRACE,
         profiler: Optional[PhaseProfiler] = None,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         super().__init__(max_sub_rounds=max_depth)
         self.seed = seed
         self.tracer = tracer
         self.profiler = profiler
         self.metrics = metrics
+        self.faults = faults if faults is not None and faults.active else None
+        self._fault_rng = random.Random(
+            faults.seed if faults is not None and faults.seed is not None
+            else 2 * seed + 3
+        )
         self.latency = resolve_latency(latency, seed=2 * seed + 1)
         self.scheduler = resolve_scheduler(scheduler, seed=2 * seed + 2)
         self.clock = 0.0
@@ -182,6 +226,17 @@ class AsyncNetwork(Network):
         self._heal_span: Dict[int, int] = {}
         self._layer_span: Dict[int, Tuple[int, int]] = {}
         self._layer_last: Dict[int, float] = {}
+        # Fault-plane state: per-sender reliable-delivery sequence
+        # numbers, per-recipient seen-windows (dup suppression), the
+        # armed crash (heal id, layer, victim), the crash record, and
+        # the heals whose protocol invariants a crash voided (handler
+        # errors inside them are counted, not raised — the repair pass
+        # owns that state).
+        self._send_seq: Dict[int, int] = {}
+        self._seen: Dict[int, "OrderedDict[Tuple[int, int], None]"] = {}
+        self._crash_armed: Optional[Tuple[int, int, int]] = None
+        self._crashed_heals: Set[int] = set()
+        self.crashed: List[Tuple[int, int]] = []
 
     # -- heal lifecycle ----------------------------------------------------
     def open_heal(
@@ -249,6 +304,10 @@ class AsyncNetwork(Network):
         return self._heal_stats[hid]
 
     def _finalize(self, hid: int) -> None:
+        if self._crash_armed is not None and self._crash_armed[0] == hid:
+            # The heal quiesced before reaching the armed layer: the
+            # crash still lands, at the heal's last delivery.
+            self._fire_crash()
         stats = self._heal_stats[hid]
         stats.quiesced_at = self.clock
         stats.sub_rounds = self._depth_seen.pop(hid) + 1
@@ -295,12 +354,123 @@ class AsyncNetwork(Network):
         stats = self._heal_stats[hid]
         stats.sent[message.sender] = stats.sent.get(message.sender, 0) + 1
         stats.bits += message.id_count() * self._id_bits + 8
+        extra_delay = 0.0
+        send_seq = -1
+        if self.faults is not None:
+            extra_delay, send_seq = self._apply_link_faults(
+                message, hid, depth, stats
+            )
         delay = self.latency.sample(message.sender, message.recipient)
-        env = Envelope(self.clock + delay, self._seq, message, hid, depth)
+        env = Envelope(
+            self.clock + extra_delay + delay,
+            self._seq,
+            message,
+            hid,
+            depth,
+            send_seq=send_seq,
+        )
         self._seq += 1
         self._buckets[hid].setdefault(depth, []).append(env)
         self._pending[hid] += 1
         self._sample()
+
+    def _apply_link_faults(
+        self, message: Message, hid: int, depth: int, stats: HealStats
+    ) -> Tuple[float, int]:
+        """Draw this send's losses and duplication from the fault RNG.
+
+        Loss is absorbed by the timeout/retransmit layer at send time:
+        the number of consecutively lost attempts is drawn up front
+        (per-attempt Bernoulli, capped at ``max_attempts - 1`` so the
+        final attempt always delivers) and realized as the sum of the
+        exponentially backed-off timeouts — one *delivered* envelope,
+        arriving late, with the losses and re-sends tallied.  This keeps
+        the heal's causal layering exact (a retransmitted message is
+        still a depth-``d`` message, just a slower one) and the fault
+        RNG stream consumption independent of delivery order.
+        Duplication enqueues a second envelope sharing the send's
+        sequence number; the recipient's seen-window cancels it.
+        """
+        assert self.faults is not None
+        plan = self.faults
+        sender, recipient = message.sender, message.recipient
+        p_drop, p_dup = plan.link(sender, recipient)
+        send_seq = self._send_seq.get(sender, 0)
+        self._send_seq[sender] = send_seq + 1
+        lost = 0
+        while (
+            p_drop > 0.0
+            and lost + 1 < plan.max_attempts
+            and self._fault_rng.random() < p_drop
+        ):
+            lost += 1
+        extra_delay = 0.0
+        if lost:
+            stats.dropped += lost
+            stats.retransmitted[sender] = (
+                stats.retransmitted.get(sender, 0) + lost
+            )
+            extra_delay = plan.retransmit_delay(lost)
+            if self.record_log:
+                name = type(message).__name__
+                for _ in range(lost):
+                    self.event_log.append(
+                        (
+                            round(self.clock, 9),
+                            hid,
+                            depth,
+                            sender,
+                            recipient,
+                            f"drop:{name}",
+                        )
+                    )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "fault:drop",
+                    "fault",
+                    self.clock,
+                    (PID_PROTOCOL, hid),
+                    args={"s": sender, "r": recipient, "lost": lost},
+                )
+            if self.metrics is not None:
+                self.metrics.counter("faults.drops").inc(lost)
+                self.metrics.counter("faults.retransmissions").inc(lost)
+        if p_dup > 0.0 and self._fault_rng.random() < p_dup:
+            stats.duplicated += 1
+            dup_delay = self.latency.sample(sender, recipient)
+            dup = Envelope(
+                self.clock + extra_delay + dup_delay,
+                self._seq,
+                message,
+                hid,
+                depth,
+                send_seq=send_seq,
+            )
+            self._seq += 1
+            self._buckets[hid].setdefault(depth, []).append(dup)
+            self._pending[hid] += 1
+            if self.record_log:
+                self.event_log.append(
+                    (
+                        round(self.clock, 9),
+                        hid,
+                        depth,
+                        sender,
+                        recipient,
+                        f"dup:{type(message).__name__}",
+                    )
+                )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "fault:dup",
+                    "fault",
+                    self.clock,
+                    (PID_PROTOCOL, hid),
+                    args={"s": sender, "r": recipient},
+                )
+            if self.metrics is not None:
+                self.metrics.counter("faults.duplicates").inc()
+        return extra_delay, send_seq
 
     def _deliverable(self, horizon: float) -> List[Envelope]:
         """Messages legal to deliver now: front layer per heal, arrived
@@ -337,6 +507,12 @@ class AsyncNetwork(Network):
         self._pending[env.heal] -= 1
         self.clock = max(self.clock, env.deliver_at)
         self._depth_seen[env.heal] = max(self._depth_seen[env.heal], env.depth)
+        if (
+            self._crash_armed is not None
+            and env.heal == self._crash_armed[0]
+            and env.depth > self._crash_armed[1]
+        ):
+            self._fire_crash()
         msg = env.message
         if self.tracer.enabled:
             self._trace_delivery(env, msg)
@@ -351,9 +527,51 @@ class AsyncNetwork(Network):
                     type(msg).__name__,
                 )
             )
+        stats = self._heal_stats[env.heal]
         node = self.nodes.get(msg.recipient)
-        if node is not None:  # else: recipient died; message dropped
-            stats = self._heal_stats[env.heal]
+        # Duplicate suppression runs *before* the liveness check (and
+        # dead-dropped copies still record their seen-window key), so
+        # exactly one envelope of every duplicated send is suppressed —
+        # ``duplicated == dup_suppressed`` holds even when the other
+        # copy landed on a dead recipient.
+        if env.send_seq >= 0 and self._is_duplicate(env):
+            # The seen-window already holds this (sender, seq): a
+            # network-duplicated copy whose original landed.  Suppress —
+            # the handler never runs, ``received`` parity is preserved.
+            stats.dup_suppressed += 1
+            if self.record_log:
+                self.event_log.append(
+                    (
+                        round(self.clock, 9),
+                        env.heal,
+                        env.depth,
+                        msg.sender,
+                        msg.recipient,
+                        f"dup-suppressed:{type(msg).__name__}",
+                    )
+                )
+            if self.metrics is not None:
+                self.metrics.counter("faults.dup_suppressed").inc()
+        elif node is None:
+            # Recipient died (deleted, or crashed without announcing):
+            # the message is dropped *permanently* — the retransmit
+            # layer re-sends lost messages, not messages to the dead —
+            # and the drop is counted, never silent.
+            stats.dead_drops += 1
+            if self.record_log:
+                self.event_log.append(
+                    (
+                        round(self.clock, 9),
+                        env.heal,
+                        env.depth,
+                        msg.sender,
+                        msg.recipient,
+                        f"dead:{type(msg).__name__}",
+                    )
+                )
+            if self.metrics is not None:
+                self.metrics.counter("kernel.dead_drops").inc()
+        else:
             stats.received[msg.recipient] = (
                 stats.received.get(msg.recipient, 0) + 1
             )
@@ -369,6 +587,17 @@ class AsyncNetwork(Network):
                         "deliver:" + type(msg).__name__,
                         time.perf_counter_ns() - t0,
                     )
+            except ProtocolError:
+                # Inside a heal whose coordinator crashed, the protocol
+                # invariants are already void (that is what the crash
+                # *means*); count the handler's complaint and let the
+                # repair pass restore legality.  Any other heal's error
+                # is a real bug and propagates.
+                if env.heal not in self._crashed_heals:
+                    raise
+                stats.handler_faults += 1
+                if self.metrics is not None:
+                    self.metrics.counter("faults.handler_faults").inc()
             finally:
                 self._ctx = prev
         self.delivered += 1
@@ -377,6 +606,18 @@ class AsyncNetwork(Network):
         if self._pending[env.heal] == 0:
             self._finalize(env.heal)
         self._sample()
+
+    def _is_duplicate(self, env: Envelope) -> bool:
+        """Check-and-record against the recipient's seen-window."""
+        assert self.faults is not None
+        window = self._seen.setdefault(env.message.recipient, OrderedDict())
+        key = (env.message.sender, env.send_seq)
+        if key in window:
+            return True
+        window[key] = None
+        while len(window) > self.faults.seen_window:
+            window.popitem(last=False)
+        return False
 
     def _trace_delivery(self, env: Envelope, msg: Message) -> None:
         """Span bookkeeping for one delivery: roll the heal's layer span
@@ -409,6 +650,64 @@ class AsyncNetwork(Network):
                 "dropped": msg.recipient not in self.nodes,
             },
         )
+
+    # -- fault plane -------------------------------------------------------
+    def arm_crash(self, hid: int, layer: int, victim: int) -> None:
+        """Arm a crash-during-heal: kill ``victim`` at heal ``hid``'s
+        first delivery deeper than ``layer`` (between delivery layers),
+        or at the heal's quiescence if it never gets that deep.
+
+        The victim dies *silently* — no ``Deleted`` notification, unlike
+        the model's announced departures: queued messages **to** it
+        become counted dead-recipient drops, messages already sent
+        **by** it still deliver (they were in flight), and its
+        neighbors' state dangles until a :class:`~repro.faults.RepairPass`
+        re-converges the overlay.
+        """
+        if victim not in self.nodes:
+            raise ProtocolError(f"crash victim {victim} is not alive")
+        if self._crash_armed is not None:
+            raise ProtocolError("a crash is already armed")
+        self._crash_armed = (hid, layer, victim)
+
+    def _fire_crash(self) -> None:
+        assert self._crash_armed is not None
+        hid, _layer, victim = self._crash_armed
+        self._crash_armed = None
+        self.nodes.pop(victim, None)
+        # The victim's seen-window outlives it on purpose: a duplicate
+        # racing the crash must still find its original's key, keeping
+        # ``duplicated == dup_suppressed`` exact.  (:meth:`adopt` clears
+        # the windows once the kernel is drained.)
+        self._crashed_heals.add(hid)
+        self.crashed.append((hid, victim))
+        if self.record_log:
+            self.event_log.append(
+                (round(self.clock, 9), hid, -1, victim, -1, "crash")
+            )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fault:crash",
+                "fault",
+                self.clock,
+                (PID_PROTOCOL, hid),
+                args={"victim": victim},
+            )
+        if self.metrics is not None:
+            self.metrics.counter("faults.crashes").inc()
+
+    def adopt(self, nodes) -> None:
+        """Replace the membership wholesale (the repair pass's node
+        transplant): the kernel must be fully drained — no envelope may
+        reference a node about to be discarded.  Seen-windows reset with
+        the nodes; sequence numbers keep counting (stale-window dups are
+        impossible across a reset, duplicate seqnos would not be)."""
+        if any(self._pending.values()):
+            raise ProtocolError("adopt on a kernel with messages in flight")
+        self.nodes.clear()
+        self._seen.clear()
+        for node in nodes:
+            self.register(node)
 
     def run_until(self, horizon: float) -> None:
         """Deliver every message that can legally land by ``horizon``

@@ -54,8 +54,11 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from ..core.errors import ReproError
+from ..core.errors import ProtocolError, ReproError
 from ..core.events import HealReport
+from ..distributed.network import Network
+from ..faults.plan import FaultPlan, FaultSummary
+from ..faults.repair import RepairPass, RepairReport
 from ..graphs.spanning import bfs_tree
 from ..obs.histogram import LogHistogram
 from ..obs.spec import ObsState
@@ -97,7 +100,11 @@ class TransportSpec:
     and final barriers).  ``overlap`` picks the policy for intersecting
     heal footprints (:data:`OVERLAP_POLICIES`); under ``"lease"``,
     ``max_wait_chain`` bounds the delegation convoy before the mirror
-    escalates back to a global barrier.
+    escalates back to a global barrier.  ``faults`` attaches a
+    :class:`~repro.faults.FaultPlan` (hostile network: loss,
+    duplication, crash-during-heal — async mode only); ``record_log``
+    keeps the kernel's per-delivery event log (the determinism tests'
+    pinned artifact, surfaced on :attr:`TransportSummary.event_log`).
     """
 
     mode: str = "async"
@@ -110,6 +117,8 @@ class TransportSpec:
     record_samples: bool = False
     overlap: str = "serialize"
     max_wait_chain: int = 32
+    faults: Optional[FaultPlan] = None
+    record_log: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in ("sync", "async"):
@@ -127,6 +136,8 @@ class TransportSpec:
             raise ValueError("overlap='lease' needs the async transport")
         if self.max_wait_chain < 1:
             raise ValueError("max_wait_chain must be >= 1")
+        if self.faults is not None and self.mode != "async":
+            raise ValueError("faults= needs the async transport")
 
 
 TransportInput = Union[None, str, TransportSpec]
@@ -241,6 +252,10 @@ class TransportSummary:
     lease_wait_times: List[float] = field(default_factory=list)
     peak_deferred: int = 0
     escalations: Dict[str, int] = field(default_factory=dict)
+    #: Hostile-network tallies (``faults=`` campaigns only).
+    faults: Optional[FaultSummary] = None
+    #: The kernel's pinned determinism artifact (``record_log`` only).
+    event_log: Optional[List[tuple]] = None
 
     @property
     def heal_latency_hist(self) -> LogHistogram:
@@ -296,11 +311,25 @@ class TransportMirror:
                 seed=self.seed,
                 max_depth=spec.max_depth,
                 record_samples=spec.record_samples,
+                record_log=spec.record_log,
                 tracer=self.tracer,
                 profiler=self.profiler,
                 metrics=self.metrics,
+                faults=spec.faults,
             )
-        self.driver, self._oracle_edges = self._build_driver(healer)
+        # Hostile-network state: the healer handle and oracle-order
+        # report history feed the repair pass's reset-replay (kept only
+        # when a crash is actually planned — the history is O(events));
+        # ``pending_crash`` hands the victim to the campaign loop, which
+        # applies the death to the oracle and calls
+        # :meth:`recover_from_crash`.
+        self._healer = healer
+        self._keep_history = spec.faults is not None and bool(spec.faults.crashes)
+        self._history: List[HealReport] = []
+        self._arm_next: Optional[Tuple[int, int]] = None
+        self.pending_crash: Optional[int] = None
+        self.repairs: List[RepairReport] = []
+        self.driver, self._oracle_edges = self._build_driver(healer, self.net)
         if self.net is not None:
             # The setup round (FT will distribution) floods the queue
             # once before any churn; reset the peaks so the summary
@@ -328,8 +357,10 @@ class TransportMirror:
         self._live: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
-    def _build_driver(self, healer):
-        """Instantiate the distributed runtime matching the healer."""
+    def _build_driver(self, healer, network):
+        """Instantiate the distributed runtime matching the healer, on
+        ``network`` (the mirror's kernel, or a throwaway synchronous
+        network during the repair pass's reset-replay)."""
         from ..baselines.forgiving import ForgivingTreeHealer
         from ..core.forgiving_tree import WILL_SPLICE
         from ..fgraph.healer import ForgivingGraphHealer
@@ -345,7 +376,7 @@ class TransportMirror:
 
             tree = bfs_tree(healer.initial_graph, engine.root_id)
             driver = DistributedForgivingTree(
-                tree, root=engine.root_id, network=self.net
+                tree, root=engine.root_id, network=network
             )
             # The FT healer carries surviving non-tree edges alongside the
             # protocol's tree overlay; the mirror validates the overlay.
@@ -355,7 +386,7 @@ class TransportMirror:
             from ..fgraph.distributed import DistributedForgivingGraph
 
             driver = DistributedForgivingGraph(
-                healer.initial_graph, network=self.net
+                healer.initial_graph, network=network
             )
             self._oracle_graph = healer.graph
             return driver, lambda: _edge_set(healer.graph())
@@ -367,6 +398,11 @@ class TransportMirror:
     # ------------------------------------------------------------------
     def apply(self, report: HealReport) -> None:
         """Mirror one oracle event onto the distributed runtime."""
+        if self.pending_crash is not None:
+            raise ProtocolError(
+                f"event applied while node {self.pending_crash}'s crash "
+                "awaits recovery (call recover_from_crash first)"
+            )
         if self.recorder is not None:
             self.recorder.record(
                 "event",
@@ -376,8 +412,17 @@ class TransportMirror:
             )
         if self.metrics is not None:
             self.metrics.counter("mirror.events").inc()
+        if self._keep_history:
+            self._history.append(report)
+        crash = (
+            self.spec.faults.crash_for(self.events)
+            if self.spec.faults is not None
+            else None
+        )
         if self.spec.mode == "sync":
             self._apply_now(report)
+        elif crash is not None:
+            self._apply_crash(report, crash)
         elif self.spec.overlap == "lease":
             self._apply_lease(report)
         else:
@@ -393,6 +438,12 @@ class TransportMirror:
         self._expected -= removed
         self._expected |= added
         self._since_barrier += 1
+        if self.pending_crash is not None:
+            # The image is corrupt until the repair pass re-converges
+            # it; no barrier may fire in between (the campaign loop
+            # calls recover_from_crash before the next event).
+            self._since_barrier = 0
+            return
         if self.spec.barrier_every and self._since_barrier >= self.spec.barrier_every:
             self.barrier()
 
@@ -439,12 +490,156 @@ class TransportMirror:
             label="insert" if report.is_insertion else f"delete-{report.deleted}",
             requested_at=requested_at,
         )
+        if self._arm_next is not None:
+            layer, victim = self._arm_next
+            self._arm_next = None
+            self.net.arm_crash(hid, layer, victim)
         if report.is_insertion:
             self.driver.inject_insert_batch(self._wave(report))
         else:
             self.driver.inject_delete(report.deleted)
         self.net.close_injection()
         return hid
+
+    # -- the crash-during-heal fault plane ------------------------------
+    def _crash_victim(
+        self, report: HealReport, crash
+    ) -> Optional[int]:
+        """Pick the node the :class:`CrashDuringHeal` kills.
+
+        ``"coordinator"`` is the heal's handoff anchor (the first wave
+        attachment point for insertions, :meth:`heal_coordinator` for
+        deletions); ``"participant"`` is the largest-id *other* live
+        footprint member, falling back to the coordinator when the heal
+        has no other participant.  ``None`` (degenerate heal with no
+        live coordinator) applies the event normally, crash skipped.
+        """
+        if report.is_insertion:
+            coordinator: Optional[int] = self._wave(report)[0][1]
+        else:
+            coordinator = self.driver.heal_coordinator(report.deleted)
+        if crash.target == "coordinator" or coordinator is None:
+            return coordinator
+        pool = sorted(
+            n
+            for n in self._footprint(report)
+            if n in self.driver.alive and n != coordinator and n != report.deleted
+        )
+        return pool[-1] if pool else coordinator
+
+    def _apply_crash(self, report: HealReport, crash) -> None:
+        """Inject one event with a mid-heal crash armed in the kernel.
+
+        Serialize mode runs a containment barrier first so the doomed
+        heal flies alone; lease mode escalates through the existing
+        handoff path (``reason="crash"``: delegation to a node that is
+        about to die is structurally unsafe), which performs the same
+        flushing barrier before injecting.  Either way the kernel drains
+        with the crash landed, the image left corrupt, and
+        :attr:`pending_crash` hands the victim to the campaign loop.
+        """
+        assert self.net is not None
+        victim = self._crash_victim(report, crash)
+        if victim is None:
+            # Nobody to kill (isolated victim, empty footprint): the
+            # event applies normally and the planned crash is skipped.
+            if self.spec.overlap == "lease":
+                self._apply_lease(report)
+            else:
+                self._apply_serialize(report)
+            return
+        if self.spec.overlap == "lease":
+            eid = self.events
+            now = self.net.clock
+            self.ledger.request(eid, now)
+            self._escalate(
+                eid,
+                "crash",
+                report,
+                frozenset(self._footprint(report)),
+                now,
+                arm=(crash.layer, victim),
+            )
+            self.net.quiesce()
+            self._pump_leases()
+        else:
+            self.barrier()  # containment: the doomed heal flies alone
+            self._arm_next = (crash.layer, victim)
+            self._inject(report)
+            self.net.quiesce()
+            self._inflight.clear()
+        self.pending_crash = victim
+
+    def recover_from_crash(self, report: HealReport) -> RepairReport:
+        """Run the self-stabilizing repair pass after a planned crash.
+
+        ``report`` is the oracle's heal of the crash victim (the
+        campaign loop applies ``healer.delete(victim)`` as an extra
+        oracle event first, then calls this).  The pass scans the
+        corrupted overlay, re-converges it by reset-replay — a fresh
+        driver rebuilt from the initial graph replaying the full oracle
+        report history (crash included) on a throwaway synchronous
+        network, then transplanted into the drained kernel — rescans,
+        and barriers: the repaired image must match the oracle
+        node-for-node or the mirror fails loudly.
+        """
+        if self.pending_crash is None:
+            raise ProtocolError("no crash pending recovery")
+        victim = self.pending_crash
+        self.pending_crash = None
+        if self._keep_history:
+            self._history.append(report)
+        self.events += 1
+        rep = RepairPass(self.driver).run(self._rebuild_driver, victim=victim)
+        self.repairs.append(rep)
+        if self.net is not None:
+            self.net.log_control("repair-pass", victim)
+        if self.recorder is not None:
+            self.recorder.record(
+                "repair",
+                clock=self.net.clock if self.net is not None else 0.0,
+                victim=victim,
+                violations=len(rep.violations),
+            )
+        if self.metrics is not None:
+            self.metrics.counter("faults.repairs").inc()
+        if not rep.repaired:
+            self._fail(
+                TransportDivergence(
+                    f"repair pass after crash of {victim} left "
+                    f"{len(rep.residual)} violation(s): "
+                    f"{[f'{v.kind}@{v.node}' for v in rep.residual[:6]]}"
+                )
+            )
+        self._expected = self._oracle_edges()
+        self._inflight.clear()
+        self.barrier()
+        return rep
+
+    def _rebuild_driver(self):
+        """Reset-replay: the repair pass's re-convergence primitive.
+
+        Rebuilding from the oracle *image* alone would break future
+        parity (FT heal outcomes depend on will/helper history), so the
+        fresh driver replays the oracle's full report history — in
+        oracle order, on a throwaway synchronous network — and its nodes
+        are then transplanted into the drained kernel.  (Safe ordering:
+        the crash path escalates through a flushing barrier, so every
+        lease-deferred event was injected before any crash.)
+        """
+        fresh_net = Network(max_sub_rounds=self.spec.max_depth)
+        driver, oracle_edges = self._build_driver(self._healer, fresh_net)
+        for rep in self._history:
+            if rep.is_insertion:
+                driver.insert_batch(self._wave(rep))
+            else:
+                driver.delete(rep.deleted)
+        assert self.net is not None
+        self.net.adopt(list(fresh_net.nodes.values()))
+        driver.network = self.net
+        self.driver = driver
+        self._oracle_edges = oracle_edges
+        return driver
 
     # -- the region-lease overlap policy -------------------------------
     def _apply_lease(self, report: HealReport) -> None:
@@ -500,6 +695,7 @@ class TransportMirror:
         report: HealReport,
         footprint: frozenset,
         now: float,
+        arm: Optional[Tuple[int, int]] = None,
     ) -> None:
         """Unsafe handoff: fall back to the global quiesce barrier.
 
@@ -509,6 +705,11 @@ class TransportMirror:
         escalating event is the oracle's newest, so the verified image
         correctly excludes it — and the event is then admitted against
         the empty lease table and injected.
+
+        ``arm`` (the crash path) is a ``(layer, victim)`` crash to arm
+        on the escalating event's own heal — set only *after* the
+        barrier, which may flush and inject deferred events whose heals
+        must not inherit it.
         """
         assert self.net is not None
         if eid in self._deferred:
@@ -526,6 +727,8 @@ class TransportMirror:
         self.barrier()
         decision = self.leases.acquire(eid, footprint, (now, eid))
         assert decision.granted  # the table is empty after a barrier
+        if arm is not None:
+            self._arm_next = arm
         self._inject_lease_heal(eid, report)
 
     def _inject_lease_heal(self, eid: int, report: HealReport) -> None:
@@ -743,6 +946,24 @@ class TransportMirror:
             summary.heal_latencies = [
                 s.heal_latency for s in history if hasattr(s, "heal_latency")
             ]
+            if spec.faults is not None:
+                fs = FaultSummary()
+                for s in self.net.stats_history:
+                    fs.drops += getattr(s, "dropped", 0)
+                    fs.retransmissions += getattr(s, "total_retransmissions", 0)
+                    fs.duplicates += getattr(s, "duplicated", 0)
+                    fs.dup_suppressed += getattr(s, "dup_suppressed", 0)
+                    fs.handler_faults += getattr(s, "handler_faults", 0)
+                    fs.dead_drops += s.dead_drops
+                fs.crashes = len(self.net.crashed)
+                fs.repairs = len(self.repairs)
+                fs.violations = sum(len(r.violations) for r in self.repairs)
+                fs.unrepaired_violations = sum(
+                    len(r.residual) for r in self.repairs
+                )
+                summary.faults = fs
+            if self.net.record_log:
+                summary.event_log = list(self.net.event_log)
         return summary
 
 

@@ -340,7 +340,7 @@ class TestHandoffLedger:
         with pytest.raises(HandoffError):
             led.check_drained()  # still in flight
         assert set(ESCALATION_REASONS) == {
-            "coordinator-death", "lease-cycle", "wait-chain",
+            "coordinator-death", "lease-cycle", "wait-chain", "crash",
         }
 
 
