@@ -27,7 +27,6 @@ duel separately to ``benchmarks/out/BENCH_overlap.json``) for the CI
 artifacts.  Quick mode: ``CHURN_BENCH_QUICK=1``.
 """
 
-import json
 import os
 import time
 
@@ -38,11 +37,7 @@ from repro.graphs import generators
 from repro.harness import report, run_churn_campaign
 from repro.simnet import TransportSpec
 
-from benchmarks.conftest import emit
-
-QUICK = os.environ.get("CHURN_BENCH_QUICK", "").strip().lower() not in (
-    "", "0", "false", "no",
-)
+from benchmarks.conftest import QUICK, dump_bench, emit, table
 
 THROUGHPUT_N = 300 if QUICK else 2000
 THROUGHPUT_EVENTS = 60 if QUICK else 250
@@ -204,31 +199,26 @@ def run_overlap_makespan():
 
 
 def _dump_json(throughput_rows, latency_rows, scale_rows):
-    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
-    with open(OUT_PATH, "w") as fh:
-        json.dump(
-            {
-                "quick": QUICK,
-                "throughput": {
-                    "headers": ["gap", "peak_inflight", "peak_queue", "p50",
-                                "p99", "conflicts", "makespan", "ms_per_event"],
-                    "rows": throughput_rows,
-                },
-                "latency_models": {
-                    "headers": ["healer", "latency", "peak_inflight", "p50",
-                                "p90", "p99", "max"],
-                    "rows": latency_rows,
-                },
-                "scale": {
-                    "headers": ["n", "events", "peak_inflight", "delivered",
-                                "barriers", "ms_per_event"],
-                    "rows": scale_rows,
-                },
-            },
-            fh,
-            indent=2,
-            default=str,
-        )
+    dump_bench(
+        "async",
+        {
+            "throughput": table(
+                ["gap", "peak_inflight", "peak_queue", "p50",
+                 "p99", "conflicts", "makespan", "ms_per_event"],
+                throughput_rows,
+            ),
+            "latency_models": table(
+                ["healer", "latency", "peak_inflight", "p50",
+                 "p90", "p99", "max"],
+                latency_rows,
+            ),
+            "scale": table(
+                ["n", "events", "peak_inflight", "delivered",
+                 "barriers", "ms_per_event"],
+                scale_rows,
+            ),
+        },
+    )
 
 
 OVERLAP_HEADERS = [
@@ -238,22 +228,12 @@ OVERLAP_HEADERS = [
 
 
 def _dump_overlap_json(overlap_rows):
-    os.makedirs(os.path.dirname(OVERLAP_OUT_PATH), exist_ok=True)
-    with open(OVERLAP_OUT_PATH, "w") as fh:
-        json.dump(
-            {
-                "quick": QUICK,
-                "n": OVERLAP_N,
-                "events": OVERLAP_EVENTS,
-                "overlap_makespan": {
-                    "headers": OVERLAP_HEADERS,
-                    "rows": overlap_rows,
-                },
-            },
-            fh,
-            indent=2,
-            default=str,
-        )
+    dump_bench(
+        "overlap",
+        {"overlap_makespan": table(OVERLAP_HEADERS, overlap_rows)},
+        n=OVERLAP_N,
+        events=OVERLAP_EVENTS,
+    )
 
 
 def _check(throughput_rows, latency_rows, scale_rows, overlap_rows):

@@ -17,8 +17,6 @@ Results are dumped to ``benchmarks/out/BENCH_faults.json`` for the CI
 artifacts.  Quick mode: ``CHURN_BENCH_QUICK=1``.
 """
 
-import json
-import os
 import time
 
 from repro.adversaries import ScatterChurnAdversary
@@ -29,17 +27,12 @@ from repro.graphs import generators
 from repro.harness import report, run_churn_campaign
 from repro.simnet import TransportSpec
 
-from benchmarks.conftest import emit
-
-QUICK = os.environ.get("CHURN_BENCH_QUICK", "").strip().lower() not in (
-    "", "0", "false", "no",
-)
+from benchmarks.conftest import QUICK, dump_bench, emit, table
 
 FAULT_N = 150 if QUICK else 800
 FAULT_EVENTS = 40 if QUICK else 160
 DROP_RATES = (0.0, 0.01, 0.05, 0.2)
 DUP_RATE = 0.02
-OUT_PATH = os.path.join(os.path.dirname(__file__), "out", "BENCH_faults.json")
 
 FAULT_HEADERS = [
     "healer", "drop", "base msgs", "retrans", "dups", "dead",
@@ -108,23 +101,13 @@ def run_fault_tax():
 
 
 def _dump_json(fault_rows):
-    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
-    with open(OUT_PATH, "w") as fh:
-        json.dump(
-            {
-                "quick": QUICK,
-                "n": FAULT_N,
-                "events": FAULT_EVENTS,
-                "dup": DUP_RATE,
-                "fault_tax": {
-                    "headers": FAULT_HEADERS,
-                    "rows": fault_rows,
-                },
-            },
-            fh,
-            indent=2,
-            default=str,
-        )
+    dump_bench(
+        "faults",
+        {"fault_tax": table(FAULT_HEADERS, fault_rows)},
+        n=FAULT_N,
+        events=FAULT_EVENTS,
+        dup=DUP_RATE,
+    )
 
 
 def _check(fault_rows):

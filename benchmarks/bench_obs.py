@@ -15,6 +15,14 @@ handoff transitions, quiesce barriers):
   count × a nanosecond-scale branch, the assertion is stable where a
   whole-campaign wall-clock diff at same-digit noise would flake.
 
+**EXP-AUDIT-OVERHEAD** rides the same file: certificate checking
+(``obs="audit"``) is one linear pass over the exported log at
+quiescence, so its cost is measured directly — re-certification wall
+against campaign wall on the same audited run — and must stay under
+the same **< 5%** bar.  A linear scan of a few hundred records vs a
+whole discrete-event campaign makes this assertion as stable as the
+hook count.
+
 Results go to ``benchmarks/out/BENCH_obs.json``.  Quick mode:
 ``CHURN_BENCH_QUICK=1``.
 """
@@ -117,26 +125,68 @@ def measure_hook_cost():
     }
 
 
+def run_audit_overhead():
+    """EXP-AUDIT-OVERHEAD: certification wall vs campaign wall.
+
+    The harness certifies once at quiescence; re-running
+    ``audit_inputs.certify()`` here times exactly that pass in
+    isolation, against the audited campaign's total wall."""
+    rows = []
+    for n in SIZES:
+        result, campaign_s = _campaign(n, "audit")
+        assert result.audit is not None and result.audit.ok
+        certify_s = float("inf")
+        for _ in range(3):  # best-of-3: the pass's cost, not OS noise
+            t0 = time.perf_counter()
+            result.audit_inputs.certify()
+            certify_s = min(certify_s, time.perf_counter() - t0)
+        rows.append(
+            [
+                n,
+                result.transport.events,
+                result.audit.records,
+                len(result.audit.certificates),
+                f"{1e3 * campaign_s:.1f}",
+                f"{1e3 * certify_s:.2f}",
+                round(certify_s / campaign_s, 4),
+            ]
+        )
+    return rows
+
+
 OVERHEAD_HEADERS = [
     "n", "events", "delivered", "us/event off", "us/event full",
     "ratio", "trace events",
 ]
 
+AUDIT_HEADERS = [
+    "n", "events", "log records", "heals", "campaign ms", "certify ms",
+    "fraction",
+]
 
-def _check(rows, hook):
+
+def _check(rows, hook, audit_rows):
     for row in rows:
         assert row[6] > 0  # tracing really ran
     # The acceptance bar: the disabled stack costs < 5% of an event.
     assert hook["disabled_overhead_fraction"] < 0.05, hook
+    for row in audit_rows:
+        # Same bar for the auditor: one linear log scan per campaign.
+        assert row[6] < 0.05, row
 
 
 def test_obs_overhead(benchmark, capsys):
     rows = benchmark.pedantic(run_overhead_sweep, rounds=1, iterations=1)
     hook = measure_hook_cost()
-    _check(rows, hook)
+    audit_rows = run_audit_overhead()
+    _check(rows, hook, audit_rows)
     dump_bench(
         "obs",
-        {"overhead": table(OVERHEAD_HEADERS, rows), "hook_cost": hook},
+        {
+            "overhead": table(OVERHEAD_HEADERS, rows),
+            "hook_cost": hook,
+            "audit_overhead": table(AUDIT_HEADERS, audit_rows),
+        },
     )
     emit(
         capsys,
@@ -152,14 +202,28 @@ def test_obs_overhead(benchmark, capsys):
         f"{100 * hook['disabled_overhead_fraction']:.3f}% of a "
         f"{hook['event_us_disabled']:.0f} µs event  (bar: < 5%)",
     )
+    emit(
+        capsys,
+        report.banner(
+            "EXP-AUDIT-OVERHEAD  certificate pass vs campaign wall"
+        ),
+    )
+    emit(capsys, report.format_table(AUDIT_HEADERS, audit_rows))
 
 
 if __name__ == "__main__":
     # Standalone mode: PYTHONPATH=src python -m benchmarks.bench_obs
     _rows = run_overhead_sweep()
     _hook = measure_hook_cost()
-    _check(_rows, _hook)
+    _audit = run_audit_overhead()
+    _check(_rows, _hook, _audit)
     print(report.banner("EXP-OBS-OVERHEAD  obs='full' vs obs=None"))
     print(report.format_table(OVERHEAD_HEADERS, _rows))
     print(_hook)
-    print("wrote", dump_bench("obs", {"overhead": table(OVERHEAD_HEADERS, _rows), "hook_cost": _hook}))
+    print(report.banner("EXP-AUDIT-OVERHEAD  certificate pass vs campaign wall"))
+    print(report.format_table(AUDIT_HEADERS, _audit))
+    print("wrote", dump_bench("obs", {
+        "overhead": table(OVERHEAD_HEADERS, _rows),
+        "hook_cost": _hook,
+        "audit_overhead": table(AUDIT_HEADERS, _audit),
+    }))

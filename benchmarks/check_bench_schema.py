@@ -1,0 +1,180 @@
+"""Validate the ``benchmarks/out/BENCH_*.json`` artifact contract.
+
+Every benchmark dumps its tables through :func:`benchmarks.conftest.dump_bench`,
+and downstream consumers (the baseline gates, the CI artifact diff, ad-hoc
+plotting) all assume the same shape:
+
+* the artifact is a JSON **object** with a boolean ``quick`` flag, so a
+  baseline diff always knows which regime produced it;
+* it contains at least one **table** — a dict with ``headers`` (non-empty,
+  unique, non-empty strings) and ``rows`` (rectangular: every row exactly
+  ``len(headers)`` cells) — either top-level (``BENCH_stretch.json``) or
+  nested one level down;
+* cells are JSON scalars (lists of scalars are allowed for structured
+  columns, e.g. edge lists); floats are finite; and **numeric columns are
+  numeric** — a string cell that parses as a number (modulo the ``x``/``%``
+  display suffixes :func:`~benchmarks.conftest._coerce` strips) means a
+  benchmark bypassed :func:`~benchmarks.conftest.table` and regressed the
+  numbers-not-strings contract;
+* each table carries at least one numeric cell (these are measurements,
+  not prose).
+
+Usage::
+
+    python benchmarks/check_bench_schema.py                # all BENCH_*.json
+    python benchmarks/check_bench_schema.py out/BENCH_obs.json
+    python benchmarks/check_bench_schema.py --min 17       # also gate count
+
+Exits non-zero on any violation; CI's bench-smoke job runs it over the
+artifacts the quick benches just regenerated.
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import sys
+from typing import Any, List, Tuple
+
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+
+SCALARS = (str, int, float, bool, type(None))
+
+
+def _parses_as_number(cell: str) -> bool:
+    """True when ``_coerce`` would have turned this display string numeric."""
+    body = cell[:-1] if cell.endswith(("x", "%")) else cell
+    try:
+        return math.isfinite(float(body))
+    except ValueError:
+        return False
+
+
+def _scalar_leaves(value: Any) -> bool:
+    if isinstance(value, list):
+        return all(_scalar_leaves(v) for v in value)
+    return isinstance(value, SCALARS)
+
+
+def check_table(name: str, tbl: dict, problems: List[str]) -> int:
+    """Validate one ``{"headers": ..., "rows": ...}`` payload; return row count."""
+    headers = tbl.get("headers")
+    rows = tbl.get("rows")
+    if not isinstance(headers, list) or not headers:
+        problems.append(f"{name}: headers must be a non-empty list")
+        return 0
+    if any(not isinstance(h, str) or not h.strip() for h in headers):
+        problems.append(f"{name}: headers must all be non-empty strings")
+    if len(set(headers)) != len(headers):
+        problems.append(f"{name}: duplicate header names {headers}")
+    if not isinstance(rows, list):
+        problems.append(f"{name}: rows must be a list")
+        return 0
+    numeric_cells = 0
+    for r, row in enumerate(rows):
+        if not isinstance(row, list):
+            problems.append(f"{name} row {r}: not a list")
+            continue
+        if len(row) != len(headers):
+            problems.append(
+                f"{name} row {r}: {len(row)} cells for {len(headers)} headers"
+            )
+        for c, cell in enumerate(row):
+            col = headers[c] if c < len(headers) else f"#{c}"
+            if isinstance(cell, bool):
+                pass  # bools are fine (and are ints, so order matters here)
+            elif isinstance(cell, (int, float)):
+                numeric_cells += 1
+                if isinstance(cell, float) and not math.isfinite(cell):
+                    problems.append(f"{name} row {r} [{col}]: non-finite {cell}")
+            elif isinstance(cell, str):
+                if _parses_as_number(cell):
+                    problems.append(
+                        f"{name} row {r} [{col}]: numeric value stored as "
+                        f"string {cell!r} (bench bypassed conftest.table?)"
+                    )
+            elif isinstance(cell, list):
+                # Structured cells (e.g. figure5's edge lists) are fine as
+                # long as their leaves are scalars.
+                if not _scalar_leaves(cell):
+                    problems.append(
+                        f"{name} row {r} [{col}]: list cell with "
+                        f"non-scalar leaves"
+                    )
+            elif not isinstance(cell, SCALARS):
+                problems.append(
+                    f"{name} row {r} [{col}]: non-scalar cell "
+                    f"({type(cell).__name__})"
+                )
+    if rows and not numeric_cells:
+        problems.append(f"{name}: a measurement table with no numeric cells")
+    return len(rows)
+
+
+def _is_table(value: Any) -> bool:
+    return isinstance(value, dict) and "headers" in value and "rows" in value
+
+
+def check_artifact(path: str) -> Tuple[int, int, List[str]]:
+    """Validate one artifact; returns (tables, rows, problems)."""
+    problems: List[str] = []
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return 0, 0, [f"unreadable: {exc}"]
+    if not isinstance(doc, dict):
+        return 0, 0, ["artifact is not a JSON object"]
+    if not isinstance(doc.get("quick"), bool):
+        problems.append("missing/non-boolean 'quick' regime flag")
+
+    tables = 0
+    rows = 0
+    if _is_table(doc):  # BENCH_stretch keeps its table at top level
+        tables += 1
+        rows += check_table("<top-level>", doc, problems)
+    for key, value in doc.items():
+        if _is_table(value):
+            tables += 1
+            rows += check_table(key, value, problems)
+    if not tables:
+        problems.append("no {'headers': ..., 'rows': ...} table found")
+    return tables, rows, problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/check_bench_schema.py",
+        description="Validate BENCH_*.json artifacts against the dump_bench contract.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="artifacts to check (default: benchmarks/out/BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--min", type=int, default=0,
+        help="fail unless at least this many artifacts were checked",
+    )
+    opts = parser.parse_args(argv)
+
+    paths = opts.paths or sorted(glob.glob(os.path.join(OUT_DIR, "BENCH_*.json")))
+    failed = False
+    for path in paths:
+        tables, rows, problems = check_artifact(path)
+        name = os.path.basename(path)
+        if problems:
+            failed = True
+            print(f"FAIL  {name}")
+            for problem in problems:
+                print(f"      - {problem}")
+        else:
+            print(f"ok    {name}  ({tables} tables, {rows} rows)")
+    if len(paths) < opts.min:
+        print(f"FAIL  only {len(paths)} artifacts found, expected >= {opts.min}")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,385 @@
+"""Typed, versioned records of the kernel's causal event log.
+
+The async kernel (:class:`repro.simnet.AsyncNetwork`) historically
+pinned its determinism artifact as positional 6-tuples
+``(t, heal, depth, src, dst, tag)`` with the record kind mangled into
+the tag string (``"InsertRequest"``, ``"drop:Deleted"``,
+``"lease-grant"``).  Consumers indexed positions blindly and parsed the
+tag by convention.  This module is the schema those tuples always
+implied, made explicit:
+
+* one frozen dataclass per record kind — :class:`SendRecord`,
+  :class:`DeliverRecord`, :class:`DropRecord`, :class:`DupRecord`,
+  :class:`DupSuppressedRecord`, :class:`DeadDropRecord`,
+  :class:`CrashRecord`, :class:`ControlRecord` — carrying the message
+  type, heal id, causal layer, and link endpoints as named fields (send
+  records additionally carry the kernel's global send sequence number
+  and the message's id count, the quantities the budget and
+  happens-before certificates need);
+* lossless legacy decoding: :func:`decode_record` turns any historical
+  tuple into its typed record (:func:`decode_log` a whole log), and
+  :meth:`LogRecord.to_tuple` produces the historical shape back
+  (new-only fields — ``seq``, ``ids`` — have no tuple slot and are the
+  one thing the round trip forgets);
+* a versioned JSONL dialect (``"v": 1`` on every line) via
+  :func:`write_jsonl` / :func:`load_jsonl` /
+  :func:`record_from_dict`, the interchange format of the
+  ``python -m repro.audit.query`` CLI and the certificate checker.
+
+The kernel emits these records directly (see
+``AsyncNetwork.event_log``); nothing in this module imports the kernel,
+the engines, or the mirror — the schema is the telemetry boundary.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Type, Union
+
+#: Version stamped on every JSONL line; bump on any field change.
+SCHEMA_VERSION = 1
+
+#: Legacy tag prefixes of the fault-plane rows (``<prefix>:<MsgType>``).
+_PREFIXED = {
+    "send": "SendRecord",
+    "drop": "DropRecord",
+    "dup": "DupRecord",
+    "dup-suppressed": "DupSuppressedRecord",
+    "dead": "DeadDropRecord",
+}
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """Base record: when, which heal, which causal layer, which link.
+
+    ``t`` is the kernel's virtual clock (rounded to 9 decimals, exactly
+    as the legacy tuples pinned it); ``heal`` the kernel heal id (or a
+    control ``ref`` — see :class:`ControlRecord`); ``depth`` the causal
+    layer (``-1`` where layering does not apply); ``src``/``dst`` the
+    link endpoints (``-1`` where absent).
+    """
+
+    t: float
+    heal: int
+    depth: int
+    src: int
+    dst: int
+
+    kind = "record"
+
+    def to_tuple(self) -> Tuple[float, int, int, int, int, str]:
+        """The historical positional 6-tuple (lossy for ``seq``/``ids``)."""
+        return (self.t, self.heal, self.depth, self.src, self.dst, self.tag())
+
+    def tag(self) -> str:
+        """The legacy tag string (position 5 of the historical tuple)."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, object]:
+        d: Dict[str, object] = {"v": SCHEMA_VERSION, "kind": self.kind}
+        for f in fields(self):
+            d[f.name] = getattr(self, f.name)
+        return d
+
+
+@dataclass(frozen=True)
+class _MessageRecord(LogRecord):
+    """Shared shape of the per-message kinds: the message type name."""
+
+    msg: str = ""
+
+    def tag(self) -> str:
+        return f"{self.kind}:{self.msg}"
+
+
+@dataclass(frozen=True)
+class SendRecord(_MessageRecord):
+    """One logical protocol send, logged at send time.
+
+    ``seq`` is the kernel's global envelope sequence number (the same
+    number delivery records carry, so a delivery is matched to its send
+    exactly); ``ids`` the message's id count
+    (:meth:`~repro.distributed.messages.Message.id_count`), the quantity
+    the FT's O(1)-id and the FG's manifest-id budgets bound.
+    """
+
+    seq: int = -1
+    ids: int = -1
+
+    kind = "send"
+
+
+@dataclass(frozen=True)
+class DeliverRecord(_MessageRecord):
+    """A handled delivery (the recipient's handler ran)."""
+
+    seq: int = -1
+
+    kind = "deliver"
+
+    def tag(self) -> str:
+        return self.msg  # legacy deliveries used the bare type name
+
+
+@dataclass(frozen=True)
+class DropRecord(_MessageRecord):
+    """One lost transmission attempt, absorbed by the retransmit layer.
+
+    ``seq`` is the sequence number of the logical send whose attempt was
+    lost (the envelope that eventually delivers, late).
+    """
+
+    seq: int = -1
+
+    kind = "drop"
+
+
+@dataclass(frozen=True)
+class DupRecord(_MessageRecord):
+    """A network-injected duplicate copy, logged at send time.
+
+    ``seq`` is the duplicate envelope's *own* sequence number: together
+    with :class:`SendRecord` this makes every delivered envelope's
+    origin addressable, duplicate copies included.
+    """
+
+    seq: int = -1
+
+    kind = "dup"
+
+
+@dataclass(frozen=True)
+class DupSuppressedRecord(_MessageRecord):
+    """An arrival discarded by the recipient's seen-window."""
+
+    seq: int = -1
+
+    kind = "dup-suppressed"
+
+
+@dataclass(frozen=True)
+class DeadDropRecord(_MessageRecord):
+    """An arrival at a dead (departed or crashed) recipient."""
+
+    seq: int = -1
+
+    kind = "dead"
+
+
+@dataclass(frozen=True)
+class CrashRecord(LogRecord):
+    """A silent crash-during-heal: ``src`` is the victim."""
+
+    kind = "crash"
+
+    def tag(self) -> str:
+        return "crash"
+
+    @property
+    def victim(self) -> int:
+        return self.src
+
+
+@dataclass(frozen=True)
+class ControlRecord(LogRecord):
+    """A control-plane transition (lease grant/defer/resume/release,
+    escalation, repair pass) interleaved on the delivery timeline.
+
+    ``heal`` holds the entry's ``ref`` — a kernel heal id for
+    post-injection tags (``lease-grant``/``lease-release``), an
+    admission-layer event id for pre-injection ones (``lease-defer``/
+    ``lease-resume``/``lease-escalate-*``); the tag names which id
+    space applies (see :meth:`AsyncNetwork.log_control`).
+    """
+
+    ctl: str = ""
+
+    kind = "control"
+
+    def tag(self) -> str:
+        return self.ctl
+
+    @property
+    def ref(self) -> int:
+        return self.heal
+
+
+#: Everything :func:`decode_record` can produce, by kind string.
+RECORD_TYPES: Dict[str, Type[LogRecord]] = {
+    cls.kind: cls
+    for cls in (
+        SendRecord,
+        DeliverRecord,
+        DropRecord,
+        DupRecord,
+        DupSuppressedRecord,
+        DeadDropRecord,
+        CrashRecord,
+        ControlRecord,
+    )
+}
+
+RawRecord = Union[LogRecord, Tuple[float, int, int, int, int, str]]
+
+
+def decode_record(row: RawRecord) -> LogRecord:
+    """Decode one event-log entry — typed records pass through, legacy
+    positional 6-tuples decode losslessly by tag convention.
+
+    The legacy disambiguation rules are exactly the ones consumers used
+    to hard-code: prefixed tags (``drop:``/``dup:``/…) are fault-plane
+    rows, ``"crash"`` with ``dst == -1`` is a crash, a row with all of
+    depth/src/dst ``== -1`` is a control entry, and anything else is a
+    delivery tagged with the bare message type name.
+    """
+    if isinstance(row, LogRecord):
+        return row
+    if not isinstance(row, (tuple, list)) or len(row) != 6:
+        raise ValueError(f"not an event-log record: {row!r}")
+    t, heal, depth, src, dst, tag = row
+    if not isinstance(tag, str):
+        raise ValueError(f"event-log tag must be a string: {row!r}")
+    head, _, rest = tag.partition(":")
+    if rest and head in _PREFIXED:
+        cls = RECORD_TYPES[head]  # prefix == kind for every fault row
+        return cls(t, heal, depth, src, dst, msg=rest)  # type: ignore[call-arg]
+    if tag == "crash" and depth == -1 and dst == -1:
+        return CrashRecord(t, heal, depth, src, dst)
+    if depth == -1 and src == -1 and dst == -1:
+        return ControlRecord(t, heal, depth, src, dst, ctl=tag)
+    return DeliverRecord(t, heal, depth, src, dst, msg=tag)
+
+
+def decode_log(rows: Iterable[RawRecord]) -> List[LogRecord]:
+    """Decode a whole event log (typed records and legacy tuples mix)."""
+    return [decode_record(row) for row in rows]
+
+
+def record_from_dict(d: Dict[str, object]) -> LogRecord:
+    """Rebuild a record from its :meth:`LogRecord.to_dict` form."""
+    if d.get("v") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported log schema version {d.get('v')!r} "
+            f"(this reader speaks v{SCHEMA_VERSION})"
+        )
+    kind = d.get("kind")
+    cls = RECORD_TYPES.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        raise ValueError(f"unknown record kind {kind!r}")
+    kwargs = {
+        f.name: d[f.name] for f in fields(cls) if f.name in d
+    }
+    missing = {f.name for f in fields(cls)} - set(kwargs)
+    if missing:
+        raise ValueError(f"record missing fields {sorted(missing)}: {d!r}")
+    return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def write_jsonl(records: Iterable[RawRecord], path: str) -> int:
+    """Export a log as versioned JSONL; returns the line count."""
+    n = 0
+    with open(path, "w") as fh:
+        for row in records:
+            fh.write(json.dumps(decode_record(row).to_dict()))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def load_jsonl(path: str) -> Iterator[LogRecord]:
+    """Stream records back from a :func:`write_jsonl` export."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield record_from_dict(json.loads(line))
+
+
+# ---------------------------------------------------------------------------
+# HealReport deltas — the oracle-side telemetry the certificates consume.
+# ---------------------------------------------------------------------------
+
+def _norm(u: int, v: int) -> Tuple[int, int]:
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class HealDelta:
+    """The exported summary of one oracle event, as the auditor sees it.
+
+    Extracted from a :class:`~repro.core.events.HealReport` by duck
+    typing (this module never imports the engines): what kind of event,
+    which ids it named, and every edge it touched — the *net* adds and
+    removals plus every transient mid-heal edge from the raw event
+    stream, which is exactly the universe the locality certificate
+    replays.  ``region`` is every node the oracle named (edge endpoints,
+    victim, joiners): heal-introduced traffic must stay inside it.
+    """
+
+    kind: str  # "delete" | "insert"
+    victim: int = -1
+    joiners: Tuple[Tuple[int, int], ...] = ()
+    added: Tuple[Tuple[int, int], ...] = ()
+    removed: Tuple[Tuple[int, int], ...] = ()
+    touched: Tuple[Tuple[int, int], ...] = ()
+
+    @functools.cached_property
+    def region(self) -> frozenset:
+        # cached_property writes straight into __dict__, which a frozen
+        # (non-slots) dataclass still has — the auditor reads this on
+        # every exclusion/locality pass.
+        nodes = set()
+        for u, v in self.touched:
+            nodes.add(u)
+            nodes.add(v)
+        if self.victim >= 0:
+            nodes.add(self.victim)
+        for nid, attach_to in self.joiners:
+            nodes.add(nid)
+            nodes.add(attach_to)
+        return frozenset(nodes)
+
+    @classmethod
+    def from_report(cls, report) -> "HealDelta":
+        """Extract the delta from a heal report (duck-typed)."""
+        touched = set()
+        for u, v in report.edges_added:
+            touched.add(_norm(u, v))
+        for u, v in report.edges_removed:
+            touched.add(_norm(u, v))
+        for event in report.events:
+            u = getattr(event, "u", None)
+            v = getattr(event, "v", None)
+            if isinstance(u, int) and isinstance(v, int):
+                touched.add(_norm(u, v))
+        added, removed = report.net_edge_deltas()
+        joiners: Tuple[Tuple[int, int], ...] = ()
+        if report.inserted_batch:
+            joiners = tuple(report.inserted_batch)
+        elif report.inserted is not None and report.attached_to is not None:
+            joiners = ((report.inserted, report.attached_to),)
+        return cls(
+            kind="insert" if report.is_insertion else "delete",
+            victim=report.deleted if report.deleted >= 0 else -1,
+            joiners=joiners,
+            added=tuple(sorted(_norm(u, v) for u, v in added)),
+            removed=tuple(sorted(_norm(u, v) for u, v in removed)),
+            touched=tuple(sorted(touched)),
+        )
+
+
+def normalize_edges(graph_or_edges) -> frozenset:
+    """Normalize an adjacency mapping or edge iterable to ``u <= v``
+    pairs (the locality certificate's initial-overlay input)."""
+    edges = set()
+    if hasattr(graph_or_edges, "items"):
+        for u, vs in graph_or_edges.items():
+            for v in vs:
+                edges.add(_norm(u, v))
+    else:
+        for u, v in graph_or_edges:
+            edges.add(_norm(u, v))
+    return frozenset(edges)

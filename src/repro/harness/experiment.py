@@ -11,12 +11,15 @@ Campaigns power every benchmark table.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..adversaries.base import Adversary
 from ..adversaries.churn import ChurnAdversary
+from ..audit.certify import AuditInputs, AuditReport
+from ..audit.schema import HealDelta, normalize_edges
 from ..baselines.base import Healer
 from ..churn.events import Delete, Insert, InsertWave
 from ..core.errors import NotATreeError, ReproError, SimulationOverError
@@ -193,6 +196,13 @@ class CampaignResult:
     #: What the observability stack saw (``obs=`` campaigns only):
     #: metrics snapshot, profile summary, trace export paths/handle.
     obs: Optional[ObsSummary] = None
+    #: The guarantee auditor's verdict (``obs="audit"``/``"full"``
+    #: campaigns only): per-heal certificates re-proved from the
+    #: exported event log — see :mod:`repro.audit`.
+    audit: Optional[AuditReport] = None
+    #: The telemetry bundle the certificates ran over (kept for
+    #: re-certification, e.g. the mutation self-test).
+    audit_inputs: Optional[AuditInputs] = field(default=None, repr=False)
     # Streaming aggregates (folded per round; authoritative when the
     # records themselves are not kept).
     _peak_ddeg: int = field(default=0, repr=False)
@@ -376,6 +386,15 @@ def _make_mirror(
         spec = replace(spec, faults=plan)
     if spec is None:
         return None
+    if (
+        obs_state is not None
+        and obs_state.spec.audit
+        and spec.mode == "async"
+        and not spec.record_log
+    ):
+        # The certificates are checked from the event log: auditing
+        # forces the kernel to keep it.
+        spec = replace(spec, record_log=True)
     return TransportMirror(healer, spec, obs=obs_state)
 
 
@@ -389,6 +408,7 @@ def _recover_crash(
     result: CampaignResult,
     keep_rounds: bool,
     on_round: Optional[Callable[[RoundRecord, Healer], None]],
+    audit_deltas: Optional[List[HealDelta]] = None,
 ) -> None:
     """A planned crash fired in the transport mirror.
 
@@ -403,6 +423,8 @@ def _recover_crash(
         obs_state, "oracle:delete", healer.delete, mirror.pending_crash
     )
     mirror.recover_from_crash(report)
+    if audit_deltas is not None:
+        audit_deltas.append(HealDelta.from_report(report))
     record = _record_round(t, report, healer, meter, d0)
     record.event = "crash"
     result.fold(record)
@@ -432,6 +454,13 @@ def _make_obs(obs: ObsInput, transport: TransportInput) -> Optional[ObsState]:
                 "obs tracing needs an async transport "
                 "(transport='async' or 'lease')"
             )
+    if spec.audit:
+        tspec = resolve_transport(transport)
+        if tspec is None or tspec.mode != "async":
+            raise ValueError(
+                "obs auditing needs an async transport "
+                "(transport='async' or 'lease')"
+            )
     return ObsState(spec)
 
 
@@ -454,6 +483,54 @@ def _stream_round(registry, record: RoundRecord) -> None:
     registry.histogram("campaign.messages").observe(record.total_messages)
     if record.diameter is not None:
         registry.gauge("campaign.diameter").set(record.diameter)
+
+
+def _run_audit(
+    result: CampaignResult,
+    obs_state: Optional[ObsState],
+    deltas: List[HealDelta],
+    initial_edges: frozenset,
+) -> None:
+    """Re-prove the per-heal guarantees from the exported telemetry.
+
+    Runs after the mirror has quiesced and summarized.  The auditor sees
+    only what a real deployment could export — the kernel event log,
+    per-heal tallies, the fault summary, and the oracle's
+    :class:`HealDelta` edge summaries — never the oracle overlay itself.
+    Violations arm the flight recorder (dumped under an ``audit`` label)
+    before the caller's strictness check decides whether to raise.
+    """
+    summary = result.transport
+    if summary is None or summary.event_log is None:
+        return
+    inputs = AuditInputs(
+        records=tuple(summary.event_log),
+        heal_stats=tuple(summary.heal_stats or ()),
+        deltas=tuple(deltas),
+        initial_edges=initial_edges,
+        protocol="fg" if "graph" in result.healer_name else "ft",
+        fault_summary=summary.faults,
+    )
+    report = inputs.certify()
+    result.audit = report
+    result.audit_inputs = inputs
+    recorder = obs_state.recorder if obs_state is not None else None
+    if recorder is not None and not report.ok:
+        for violation in report.violations[:32]:
+            recorder.record(
+                "audit-violation",
+                cert=violation.cert,
+                heal=violation.heal,
+                window=list(violation.window),
+                detail=violation.detail,
+            )
+        path = None
+        rng = recorder.id_range
+        if obs_state.spec.recorder_dir is not None and rng is not None:
+            path = os.path.join(
+                obs_state.spec.recorder_dir, f"audit-{rng[0]}-{rng[1]}.jsonl"
+            )
+        recorder.dump(path, label="audit")
 
 
 def run_campaign(
@@ -546,6 +623,9 @@ def run_campaign(
     )
     obs_state = _make_obs(obs, transport)
     mirror = _make_mirror(healer, transport, seed, obs_state, faults)
+    auditing = mirror is not None and obs_state is not None and obs_state.spec.audit
+    audit_deltas: Optional[List[HealDelta]] = [] if auditing else None
+    audit_initial = normalize_edges(initial) if auditing else frozenset()
     adversary.reset()
     budget = rounds if rounds is not None else n0 - 1
     for t in range(budget):
@@ -558,6 +638,8 @@ def run_campaign(
             break
         if mirror is not None:
             mirror.apply(report)
+        if audit_deltas is not None:
+            audit_deltas.append(HealDelta.from_report(report))
         record = _record_round(t, report, healer, meter, d0)
         result.fold(record)
         if keep_rounds:
@@ -569,12 +651,21 @@ def run_campaign(
         if mirror is not None and mirror.pending_crash is not None:
             _recover_crash(
                 mirror, healer, obs_state, meter, d0, t, result,
-                keep_rounds, on_round,
+                keep_rounds, on_round, audit_deltas,
             )
     if mirror is not None:
         result.transport = mirror.finish()
+        if audit_deltas is not None:
+            _run_audit(result, obs_state, audit_deltas, audit_initial)
     if obs_state is not None:
         result.obs = obs_state.finish()
+    if (
+        result.audit is not None
+        and not result.audit.ok
+        and obs_state is not None
+        and obs_state.spec.audit_strict
+    ):
+        result.audit.raise_on_violation()
     return result
 
 
@@ -680,6 +771,9 @@ def run_churn_campaign(
     )
     obs_state = _make_obs(obs, transport)
     mirror = _make_mirror(healer, transport, seed, obs_state, faults)
+    auditing = mirror is not None and obs_state is not None and obs_state.spec.audit
+    audit_deltas: Optional[List[HealDelta]] = [] if auditing else None
+    audit_initial = normalize_edges(initial) if auditing else frozenset()
     adversary.reset()
     for t in range(events):
         if not healer.alive:
@@ -710,6 +804,8 @@ def run_churn_campaign(
             break
         if mirror is not None:
             mirror.apply(report)
+        if audit_deltas is not None:
+            audit_deltas.append(HealDelta.from_report(report))
         record = _record_round(t, report, healer, meter, d0)
         result.fold(record)
         if keep_rounds:
@@ -721,12 +817,21 @@ def run_churn_campaign(
         if mirror is not None and mirror.pending_crash is not None:
             _recover_crash(
                 mirror, healer, obs_state, meter, d0, t, result,
-                keep_rounds, on_round,
+                keep_rounds, on_round, audit_deltas,
             )
     if mirror is not None:
         result.transport = mirror.finish()
+        if audit_deltas is not None:
+            _run_audit(result, obs_state, audit_deltas, audit_initial)
     if obs_state is not None:
         result.obs = obs_state.finish()
+    if (
+        result.audit is not None
+        and not result.audit.ok
+        and obs_state is not None
+        and obs_state.spec.audit_strict
+    ):
+        result.audit.raise_on_violation()
     return result
 
 

@@ -22,12 +22,19 @@ One package every layer feeds instead of growing its own telemetry:
   escalating breaches into alerts, a flight-recorder dump, and forced
   trace sampling.
 
+The typed event-log decoder (:func:`decode_log` / :func:`decode_record`
+/ :class:`LogRecord`) is re-exported here from
+:mod:`repro.audit.schema` — consumers of ``AsyncNetwork.event_log``
+should use it instead of indexing tuple positions; the full trace-query
+and certificate machinery lives in :mod:`repro.audit`.
+
 Wired into campaigns through the ``obs=`` knob on
 :func:`~repro.harness.run_campaign` / ``run_churn_campaign`` — see
 ``docs/OBSERVABILITY.md``; the soak service (:mod:`repro.soak`) drives
 the streaming half over checkpointed long-horizon campaigns.
 """
 
+from ..audit.schema import LogRecord, decode_log, decode_record
 from .histogram import DEFAULT_GROWTH, LogHistogram
 from .metrics import Counter, Gauge, MetricsRegistry
 from .profile import PhaseProfiler
@@ -80,6 +87,7 @@ __all__ = [
     "Gauge",
     "JsonlSink",
     "LogHistogram",
+    "LogRecord",
     "MemorySink",
     "MetricsRegistry",
     "MetricsStreamer",
@@ -98,6 +106,8 @@ __all__ = [
     "TelemetrySink",
     "Tracer",
     "WindowedSink",
+    "decode_log",
+    "decode_record",
     "default_slos",
     "fault_slos",
     "record_to_dict",

@@ -9,6 +9,10 @@ a mode string, or an :class:`ObsSpec`:
 * ``"trace"`` — metrics + the causal :class:`~repro.obs.trace.Tracer`
   (requires an async transport: the spans are the kernel's heals).
 * ``"profile"`` — metrics + per-phase wall/virtual timers.
+* ``"audit"`` — metrics + the guarantee auditor (requires an async
+  transport with ``record_log``: the harness runs the per-heal
+  certificates of :mod:`repro.audit` post-quiescence and raises on any
+  violation, with a small flight recorder armed for the dump).
 * ``"full"`` — everything, plus a 4096-event flight recorder.
 
 The resolved spec becomes an :class:`ObsState` (the live instruments the
@@ -27,7 +31,7 @@ from .recorder import FlightRecorder
 from .trace import NO_TRACE, Tracer
 
 #: ``obs=`` mode strings accepted by the campaign runners.
-OBS_MODES = ("none", "metrics", "trace", "profile", "full")
+OBS_MODES = ("none", "metrics", "trace", "profile", "audit", "full")
 
 
 @dataclass
@@ -47,6 +51,8 @@ class ObsSpec:
     trace_jsonl_path: Optional[str] = None
     metrics: bool = True
     profile: bool = False
+    audit: bool = False
+    audit_strict: bool = True
     recorder: int = 0
     recorder_dir: Optional[str] = None
 
@@ -72,8 +78,10 @@ def resolve_obs(obs: ObsInput) -> Optional[ObsSpec]:
         return ObsSpec(trace=True)
     if obs == "profile":
         return ObsSpec(profile=True)
+    if obs == "audit":
+        return ObsSpec(audit=True, recorder=512)
     if obs == "full":
-        return ObsSpec(trace=True, profile=True, recorder=4096)
+        return ObsSpec(trace=True, profile=True, audit=True, recorder=4096)
     raise ValueError(f"unknown obs {obs!r} (one of {OBS_MODES} or an ObsSpec)")
 
 

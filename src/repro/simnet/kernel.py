@@ -51,6 +51,17 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..audit.schema import (
+    ControlRecord,
+    CrashRecord,
+    DeadDropRecord,
+    DeliverRecord,
+    DropRecord,
+    DupRecord,
+    DupSuppressedRecord,
+    LogRecord,
+    SendRecord,
+)
 from ..core.errors import ProtocolError
 from ..distributed.messages import Message
 from ..distributed.network import Network, RoundStats
@@ -92,7 +103,10 @@ class HealStats(RoundStats):
     region-lease overlap policy a heal may be *requested* before it can
     inject (its footprint was leased to an in-flight repair);
     ``requested_at`` records that moment and ``lease_wait`` the time the
-    event spent queued on the blocking coordinator.
+    event spent queued on the blocking coordinator.  ``hid`` is the
+    kernel heal id — ``round`` may carry a caller-supplied round number
+    instead, so this is the field that joins a heal's tallies to its
+    event-log records (the audit layer keys on it).
 
     The fault tallies (all zero on a reliable network) count the
     hostile-network traffic *separately* from the base ``sent`` /
@@ -105,6 +119,7 @@ class HealStats(RoundStats):
     whose coordinator crashed (the repair pass owns that state).
     """
 
+    hid: int = -1
     injected_at: float = 0.0
     quiesced_at: float = 0.0
     label: str = ""
@@ -205,7 +220,7 @@ class AsyncNetwork(Network):
         self.scheduler = resolve_scheduler(scheduler, seed=2 * seed + 2)
         self.clock = 0.0
         self.delivered = 0
-        self.event_log: List[Tuple[float, int, int, int, int, str]] = []
+        self.event_log: List[LogRecord] = []
         self.record_samples = record_samples
         self.record_log = record_log
         self.samples: List[Tuple[float, int, int]] = []
@@ -259,6 +274,7 @@ class AsyncNetwork(Network):
         self._next_hid += 1
         self._heal_stats[hid] = HealStats(
             round=hid if round_no is None else round_no,
+            hid=hid,
             injected_at=self.clock,
             label=label,
             requested_at=requested_at,
@@ -356,8 +372,10 @@ class AsyncNetwork(Network):
         stats.bits += message.id_count() * self._id_bits + 8
         extra_delay = 0.0
         send_seq = -1
+        lost = 0
+        dup_seq = -1
         if self.faults is not None:
-            extra_delay, send_seq = self._apply_link_faults(
+            extra_delay, send_seq, lost, dup_seq = self._apply_link_faults(
                 message, hid, depth, stats
             )
         delay = self.latency.sample(message.sender, message.recipient)
@@ -372,11 +390,34 @@ class AsyncNetwork(Network):
         self._seq += 1
         self._buckets[hid].setdefault(depth, []).append(env)
         self._pending[hid] += 1
+        if self.record_log:
+            # One typed record per logical event, all stamped with the
+            # envelope sequence numbers delivery records echo back — the
+            # happens-before join key of the audit layer.
+            t = round(self.clock, 9)
+            name = type(message).__name__
+            sender, recipient = message.sender, message.recipient
+            self.event_log.append(
+                SendRecord(
+                    t, hid, depth, sender, recipient,
+                    msg=name, seq=env.seq, ids=message.id_count(),
+                )
+            )
+            for _ in range(lost):
+                self.event_log.append(
+                    DropRecord(t, hid, depth, sender, recipient,
+                               msg=name, seq=env.seq)
+                )
+            if dup_seq >= 0:
+                self.event_log.append(
+                    DupRecord(t, hid, depth, sender, recipient,
+                              msg=name, seq=dup_seq)
+                )
         self._sample()
 
     def _apply_link_faults(
         self, message: Message, hid: int, depth: int, stats: HealStats
-    ) -> Tuple[float, int]:
+    ) -> Tuple[float, int, int, int]:
         """Draw this send's losses and duplication from the fault RNG.
 
         Loss is absorbed by the timeout/retransmit layer at send time:
@@ -389,7 +430,17 @@ class AsyncNetwork(Network):
         still a depth-``d`` message, just a slower one) and the fault
         RNG stream consumption independent of delivery order.
         Duplication enqueues a second envelope sharing the send's
-        sequence number; the recipient's seen-window cancels it.
+        reliable-delivery sequence number; the recipient's seen-window
+        cancels it.
+
+        Returns ``(extra_delay, send_seq, lost, dup_seq)`` — the caller
+        (:meth:`send`) writes the event-log records, because the
+        logical send's own envelope sequence number does not exist yet
+        here (the duplicate envelope is allocated first, on purpose:
+        envelope sequence numbers drive per-recipient FIFO and the
+        scheduler tie-breaks, and the pinned determinism artifacts
+        depend on that allocation order).  ``dup_seq`` is the duplicate
+        envelope's sequence number, ``-1`` when no duplicate was drawn.
         """
         assert self.faults is not None
         plan = self.faults
@@ -411,19 +462,6 @@ class AsyncNetwork(Network):
                 stats.retransmitted.get(sender, 0) + lost
             )
             extra_delay = plan.retransmit_delay(lost)
-            if self.record_log:
-                name = type(message).__name__
-                for _ in range(lost):
-                    self.event_log.append(
-                        (
-                            round(self.clock, 9),
-                            hid,
-                            depth,
-                            sender,
-                            recipient,
-                            f"drop:{name}",
-                        )
-                    )
             if self.tracer.enabled:
                 self.tracer.instant(
                     "fault:drop",
@@ -435,6 +473,7 @@ class AsyncNetwork(Network):
             if self.metrics is not None:
                 self.metrics.counter("faults.drops").inc(lost)
                 self.metrics.counter("faults.retransmissions").inc(lost)
+        dup_seq = -1
         if p_dup > 0.0 and self._fault_rng.random() < p_dup:
             stats.duplicated += 1
             dup_delay = self.latency.sample(sender, recipient)
@@ -446,20 +485,10 @@ class AsyncNetwork(Network):
                 depth,
                 send_seq=send_seq,
             )
+            dup_seq = dup.seq
             self._seq += 1
             self._buckets[hid].setdefault(depth, []).append(dup)
             self._pending[hid] += 1
-            if self.record_log:
-                self.event_log.append(
-                    (
-                        round(self.clock, 9),
-                        hid,
-                        depth,
-                        sender,
-                        recipient,
-                        f"dup:{type(message).__name__}",
-                    )
-                )
             if self.tracer.enabled:
                 self.tracer.instant(
                     "fault:dup",
@@ -470,7 +499,7 @@ class AsyncNetwork(Network):
                 )
             if self.metrics is not None:
                 self.metrics.counter("faults.duplicates").inc()
-        return extra_delay, send_seq
+        return extra_delay, send_seq, lost, dup_seq
 
     def _deliverable(self, horizon: float) -> List[Envelope]:
         """Messages legal to deliver now: front layer per heal, arrived
@@ -516,17 +545,6 @@ class AsyncNetwork(Network):
         msg = env.message
         if self.tracer.enabled:
             self._trace_delivery(env, msg)
-        if self.record_log:
-            self.event_log.append(
-                (
-                    round(self.clock, 9),
-                    env.heal,
-                    env.depth,
-                    msg.sender,
-                    msg.recipient,
-                    type(msg).__name__,
-                )
-            )
         stats = self._heal_stats[env.heal]
         node = self.nodes.get(msg.recipient)
         # Duplicate suppression runs *before* the liveness check (and
@@ -540,14 +558,15 @@ class AsyncNetwork(Network):
             # the handler never runs, ``received`` parity is preserved.
             stats.dup_suppressed += 1
             if self.record_log:
+                # Exactly one record per arrival, written *after*
+                # classification: a suppressed copy is not a delivery,
+                # so the log's deliver records match ``received``
+                # node-for-node (the audit accounting certificate).
                 self.event_log.append(
-                    (
-                        round(self.clock, 9),
-                        env.heal,
-                        env.depth,
-                        msg.sender,
-                        msg.recipient,
-                        f"dup-suppressed:{type(msg).__name__}",
+                    DupSuppressedRecord(
+                        round(self.clock, 9), env.heal, env.depth,
+                        msg.sender, msg.recipient,
+                        msg=type(msg).__name__, seq=env.seq,
                     )
                 )
             if self.metrics is not None:
@@ -560,13 +579,10 @@ class AsyncNetwork(Network):
             stats.dead_drops += 1
             if self.record_log:
                 self.event_log.append(
-                    (
-                        round(self.clock, 9),
-                        env.heal,
-                        env.depth,
-                        msg.sender,
-                        msg.recipient,
-                        f"dead:{type(msg).__name__}",
+                    DeadDropRecord(
+                        round(self.clock, 9), env.heal, env.depth,
+                        msg.sender, msg.recipient,
+                        msg=type(msg).__name__, seq=env.seq,
                     )
                 )
             if self.metrics is not None:
@@ -575,6 +591,14 @@ class AsyncNetwork(Network):
             stats.received[msg.recipient] = (
                 stats.received.get(msg.recipient, 0) + 1
             )
+            if self.record_log:
+                self.event_log.append(
+                    DeliverRecord(
+                        round(self.clock, 9), env.heal, env.depth,
+                        msg.sender, msg.recipient,
+                        msg=type(msg).__name__, seq=env.seq,
+                    )
+                )
             prev = self._ctx
             self._ctx = (env.heal, env.depth)
             try:
@@ -683,7 +707,7 @@ class AsyncNetwork(Network):
         self.crashed.append((hid, victim))
         if self.record_log:
             self.event_log.append(
-                (round(self.clock, 9), hid, -1, victim, -1, "crash")
+                CrashRecord(round(self.clock, 9), hid, -1, victim, -1)
             )
         if self.tracer.enabled:
             self.tracer.instant(
@@ -748,8 +772,8 @@ class AsyncNetwork(Network):
         """Record a control transition (lease grant/release, handoff,
         escalation) as a first-class entry in the causal event log.
 
-        Control entries share the delivery-log tuple shape with sender
-        and recipient of ``-1`` and a depth of ``-1``, so the pinned
+        Control entries are :class:`~repro.audit.schema.ControlRecord`
+        rows (sender/recipient/depth of ``-1``), so the pinned
         determinism artifacts interleave protocol traffic and admission
         decisions on one timeline.  ``ref`` is a *kernel heal id* for
         post-injection entries (``lease-grant``/``lease-release`` —
@@ -762,7 +786,9 @@ class AsyncNetwork(Network):
         otherwise a no-op unless ``record_log``.
         """
         if self.record_log:
-            self.event_log.append((round(self.clock, 9), ref, -1, -1, -1, tag))
+            self.event_log.append(
+                ControlRecord(round(self.clock, 9), ref, -1, -1, -1, ctl=tag)
+            )
         if self.tracer.enabled:
             self.tracer.instant(
                 tag, "control", self.clock, CONTROL_TRACK, args={"ref": ref}

@@ -70,7 +70,8 @@ from ..regions import (
     LeaseError,
     LeaseManager,
 )
-from .kernel import AsyncNetwork
+from ..audit.schema import LogRecord
+from .kernel import AsyncNetwork, HealStats
 from .latency import LatencySpec
 from .scheduler import SchedulerSpec
 
@@ -254,8 +255,12 @@ class TransportSummary:
     escalations: Dict[str, int] = field(default_factory=dict)
     #: Hostile-network tallies (``faults=`` campaigns only).
     faults: Optional[FaultSummary] = None
-    #: The kernel's pinned determinism artifact (``record_log`` only).
-    event_log: Optional[List[tuple]] = None
+    #: The kernel's pinned determinism artifact (``record_log`` only):
+    #: typed :class:`~repro.audit.schema.LogRecord` entries.
+    event_log: Optional[List["LogRecord"]] = None
+    #: Per-heal kernel tallies in quiescence order (``record_log``
+    #: only) — the audit layer joins them to the log by ``hid``.
+    heal_stats: Optional[List["HealStats"]] = None
 
     @property
     def heal_latency_hist(self) -> LogHistogram:
@@ -486,8 +491,15 @@ class TransportMirror:
         The one injection path both overlap policies share; returns the
         kernel heal id (``requested_at`` back-dates the lease wait)."""
         assert self.net is not None
+        # Labels embed the event's unique id (node ids are never
+        # reused), so a heal is joinable to its oracle report even when
+        # lease admission reorders injections.
         hid = self.net.open_heal(
-            label="insert" if report.is_insertion else f"delete-{report.deleted}",
+            label=(
+                f"insert-{self._wave(report)[0][0]}"
+                if report.is_insertion
+                else f"delete-{report.deleted}"
+            ),
             requested_at=requested_at,
         )
         if self._arm_next is not None:
@@ -964,6 +976,7 @@ class TransportMirror:
                 summary.faults = fs
             if self.net.record_log:
                 summary.event_log = list(self.net.event_log)
+                summary.heal_stats = list(self.net.stats_history)
         return summary
 
 

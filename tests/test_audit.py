@@ -1,0 +1,444 @@
+"""Tests for the guarantee auditor (repro.audit).
+
+The walls the ISSUE demands: the typed record schema round-trips the
+legacy tuple dialect losslessly; the query operators and CLI work over
+JSONL exports; the certificates pass on seeded FT and FG campaigns
+across every latency x scheduler model, under lease overlap and under a
+drop/dup/crash fault plan — computed from exported telemetry only (the
+auditor's modules import nothing from the engines at import time) —
+and the mutation self-test shows each certificate class catching its
+seeded corruption with the offending heal and event-id window named.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.adversaries.churn import RandomChurnAdversary
+from repro.audit import (
+    CERTIFICATE_KINDS,
+    CORRUPTIONS,
+    SCHEMA_VERSION,
+    AuditError,
+    AuditReport,
+    ControlRecord,
+    CrashRecord,
+    DeliverRecord,
+    DropRecord,
+    DupRecord,
+    DupSuppressedRecord,
+    HealDelta,
+    LogQuery,
+    SendRecord,
+    Violation,
+    certify_campaign,
+    check_corruption,
+    decode_log,
+    decode_record,
+    heal_flows,
+    link_table,
+    load_jsonl,
+    queue_timeline,
+    record_from_dict,
+    run_self_test,
+    write_jsonl,
+)
+from repro.audit import mutate as mutate_mod
+from repro.audit import query as query_mod
+from repro.audit.schema import normalize_edges
+from repro.baselines.forgiving import ForgivingTreeHealer
+from repro.faults import CrashDuringHeal, FaultPlan
+from repro.fgraph.healer import ForgivingGraphHealer
+from repro.graphs import generators
+from repro.harness import run_churn_campaign
+from repro.obs import ObsSpec
+from repro.simnet import LATENCY_CATALOG, SCHEDULER_CATALOG, TransportSpec
+
+
+def _tree_graph(n, seed):
+    return {k: set(v) for k, v in generators.random_tree(n, seed).items()}
+
+
+def _audited_run(
+    healer_cls,
+    seed=11,
+    n=24,
+    events=16,
+    latency="uniform",
+    scheduler="latency",
+    overlap="lease",
+    plan=None,
+    strict=True,
+):
+    spec = TransportSpec(
+        mode="async",
+        latency=latency,
+        scheduler=scheduler,
+        overlap=overlap,
+        seed=seed,
+        faults=plan,
+    )
+    obs = (
+        "audit"
+        if strict
+        else ObsSpec(audit=True, recorder=512, audit_strict=False)
+    )
+    return run_churn_campaign(
+        healer_cls(_tree_graph(n, seed)),
+        RandomChurnAdversary(p_insert=0.3, seed=seed),
+        events=events,
+        transport=spec,
+        seed=seed,
+        obs=obs,
+    )
+
+
+@pytest.fixture(scope="module")
+def audited_ft():
+    """One audited FT campaign: lease overlap + drop/dup/crash faults."""
+    plan = FaultPlan(
+        drop=0.1, dup=0.05, crashes=(CrashDuringHeal(event=5),), seed=7
+    )
+    return _audited_run(ForgivingTreeHealer, plan=plan)
+
+
+# ---------------------------------------------------------------------------
+# Schema
+# ---------------------------------------------------------------------------
+
+class TestSchema:
+    def test_legacy_tuple_decoding(self):
+        assert decode_record((1.0, 3, 2, 4, 5, "Deleted")) == DeliverRecord(
+            1.0, 3, 2, 4, 5, msg="Deleted"
+        )
+        assert decode_record((1.0, 3, -1, 4, 5, "drop:WillMsg")) == DropRecord(
+            1.0, 3, -1, 4, 5, msg="WillMsg"
+        )
+        assert isinstance(
+            decode_record((1.0, 3, 0, 4, 5, "dup:WillMsg")), DupRecord
+        )
+        assert isinstance(
+            decode_record((1.0, 3, 0, 4, 5, "dup-suppressed:WillMsg")),
+            DupSuppressedRecord,
+        )
+        crash = decode_record((2.0, 7, -1, 9, -1, "crash"))
+        assert isinstance(crash, CrashRecord) and crash.victim == 9
+        ctl = decode_record((2.0, 7, -1, -1, -1, "lease-grant"))
+        assert isinstance(ctl, ControlRecord)
+        assert ctl.ref == 7 and ctl.ctl == "lease-grant"
+
+    def test_tuple_round_trip(self):
+        rows = [
+            (1.0, 3, 2, 4, 5, "Deleted"),
+            (1.5, 3, -1, 4, 5, "drop:WillMsg"),
+            (2.0, 7, -1, 9, -1, "crash"),
+            (2.5, 7, -1, -1, -1, "lease-release"),
+        ]
+        assert [r.to_tuple() for r in decode_log(rows)] == rows
+
+    def test_typed_records_pass_through(self):
+        rec = SendRecord(1.0, 2, 0, 3, 4, msg="WillMsg", seq=17, ids=3)
+        assert decode_record(rec) is rec
+        assert rec.tag() == "send:WillMsg"
+        assert rec.to_tuple() == (1.0, 2, 0, 3, 4, "send:WillMsg")
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            decode_record((1.0, 2, 3))
+        with pytest.raises(ValueError):
+            decode_record((1.0, 2, 3, 4, 5, 6))
+
+    def test_dict_round_trip(self):
+        rec = SendRecord(1.0, 2, 0, 3, 4, msg="WillMsg", seq=17, ids=3)
+        d = rec.to_dict()
+        assert d["v"] == SCHEMA_VERSION and d["kind"] == "send"
+        assert record_from_dict(d) == rec
+        with pytest.raises(ValueError):
+            record_from_dict({**d, "v": 99})
+        with pytest.raises(ValueError):
+            record_from_dict({**d, "kind": "telegram"})
+        with pytest.raises(ValueError):
+            record_from_dict({"v": SCHEMA_VERSION, "kind": "send"})
+
+    def test_jsonl_round_trip(self, tmp_path, audited_ft):
+        log = audited_ft.transport.event_log
+        path = str(tmp_path / "log.jsonl")
+        assert write_jsonl(log, path) == len(log)
+        assert list(load_jsonl(path)) == decode_log(log)
+
+    def test_normalize_edges(self):
+        assert normalize_edges({0: {1}, 1: {0, 2}, 2: {1}}) == frozenset(
+            {(0, 1), (1, 2)}
+        )
+        assert normalize_edges([(2, 1), (1, 2)]) == frozenset({(1, 2)})
+
+    def test_heal_delta_region(self):
+        delta = HealDelta(
+            kind="delete", victim=5, touched=((1, 5), (1, 3))
+        )
+        assert delta.region == frozenset({1, 3, 5})
+        wave = HealDelta(kind="insert", joiners=((9, 2), (10, 2)))
+        assert wave.region == frozenset({2, 9, 10})
+
+
+# ---------------------------------------------------------------------------
+# Query operators + CLI
+# ---------------------------------------------------------------------------
+
+_SYNTH = [
+    SendRecord(0.0, 1, 0, 2, 3, msg="A", seq=0, ids=2),
+    DeliverRecord(1.0, 1, 0, 2, 3, msg="A", seq=0),
+    SendRecord(1.5, 2, 0, 3, 4, msg="B", seq=1, ids=1),
+    DropRecord(1.5, 2, 0, 3, 4, msg="B", seq=1),
+    DeliverRecord(3.5, 2, 0, 3, 4, msg="B", seq=1),
+]
+
+
+class TestQuery:
+    def test_filter_kind_heal_between(self):
+        assert LogQuery(_SYNTH).kind("send").count() == 2
+        assert LogQuery(_SYNTH).heal(2).count() == 3
+        assert LogQuery(_SYNTH).between(1.0, 1.5).count() == 3
+        assert (
+            LogQuery(_SYNTH).filter(lambda r: r.msg == "A").to_list()
+            == _SYNTH[:2]
+        )
+
+    def test_join_sends_to_delivers(self):
+        pairs = list(
+            LogQuery(_SYNTH)
+            .kind("deliver")
+            .join(
+                LogQuery(_SYNTH).kind("send").to_list(),
+                key=lambda r: r.seq,
+            )
+        )
+        assert [(d.msg, s.seq) for d, s in pairs] == [("A", 0), ("B", 1)]
+
+    def test_group_by_first_seen_order(self):
+        groups = LogQuery(_SYNTH).group_by(lambda r: r.heal)
+        assert list(groups) == [1, 2]
+        assert len(groups[2]) == 3
+
+    def test_window_tumbles(self):
+        windows = list(LogQuery(_SYNTH).window(1.0))
+        assert [w[0] for w in windows] == [0.0, 1.0, 2.0, 3.0]
+        assert [len(w[1]) for w in windows] == [1, 3, 0, 1]
+        with pytest.raises(ValueError):
+            list(LogQuery(_SYNTH).window(0))
+
+    def test_queries_decode_legacy_tuples(self):
+        assert LogQuery([(1.0, 3, 2, 4, 5, "Deleted")]).kind(
+            "deliver"
+        ).count() == 1
+
+    def test_heal_flows(self, audited_ft):
+        log = audited_ft.transport.event_log
+        flows = heal_flows(log)
+        assert set(flows) == {
+            r.heal for r in decode_log(log) if r.kind != "control"
+        }
+        for f in flows.values():
+            assert f["t_first"] <= f["t_last"]
+            assert f["delivers"] == sum(f["msgs"].values())
+        assert list(heal_flows(log, hid=1)) == [1]
+
+    def test_link_table(self, audited_ft):
+        log = audited_ft.transport.event_log
+        table = link_table(log)
+        assert sum(r["delivered"] for r in table) == sum(
+            1 for rec in decode_log(log) if rec.kind == "deliver"
+        )
+        hot = table[0]["delivered"] + table[0]["dropped"]
+        assert all(r["delivered"] + r["dropped"] <= hot for r in table[1:])
+        assert link_table(log, top=3) == table[:3]
+
+    def test_queue_timeline_drains(self, audited_ft):
+        timeline = queue_timeline(audited_ft.transport.event_log)
+        assert timeline and timeline[-1]["depth"] == 0
+        assert all(row["depth"] >= 0 for row in timeline)
+
+    def test_cli(self, tmp_path, capsys, audited_ft):
+        path = str(tmp_path / "log.jsonl")
+        write_jsonl(audited_ft.transport.event_log, path)
+        for args in (
+            ["flows", path],
+            ["flows", path, "--heal", "1", "--json"],
+            ["links", path, "--top", "5"],
+            ["queues", path, "--bucket", "2.0"],
+        ):
+            assert query_mod.main(args) == 0
+            assert capsys.readouterr().out.strip()
+
+
+# ---------------------------------------------------------------------------
+# Certificates
+# ---------------------------------------------------------------------------
+
+class TestCertificates:
+    @pytest.mark.parametrize("healer_cls", (ForgivingTreeHealer, ForgivingGraphHealer))
+    @pytest.mark.parametrize("latency", LATENCY_CATALOG)
+    @pytest.mark.parametrize("scheduler", SCHEDULER_CATALOG)
+    def test_pass_across_models(self, healer_cls, latency, scheduler):
+        """The acceptance wall: every latency x scheduler model, both
+        protocols, lease overlap + drop/dup faults — certified clean
+        (obs="audit" is strict, so a violation would raise here)."""
+        res = _audited_run(
+            healer_cls,
+            seed=5,
+            n=16,
+            events=10,
+            latency=latency,
+            scheduler=scheduler,
+            plan=FaultPlan(drop=0.1, dup=0.05, seed=3),
+        )
+        assert res.audit is not None and res.audit.ok
+        assert res.audit.records == len(res.transport.event_log)
+
+    def test_crash_campaign_certifies(self, audited_ft):
+        report = audited_ft.audit
+        assert report is not None and report.ok
+        assert report.protocol == "ft"
+        assert len(report.certificates) == len(audited_ft.transport.heal_stats)
+        summary = report.summary()
+        assert summary["ok"] and summary["first_violation"] is None
+        assert summary["heals"] == len(report.certificates)
+        # Every certificate class ran somewhere in the campaign.
+        assert set(summary["checks"]) == set(CERTIFICATE_KINDS)
+
+    def test_fg_protocol_tagged(self):
+        res = _audited_run(ForgivingGraphHealer, n=16, events=10)
+        assert res.audit.protocol == "fg"
+
+    def test_inputs_kept_for_recertification(self, audited_ft):
+        inputs = audited_ft.audit_inputs
+        assert inputs is not None
+        again = inputs.certify()
+        assert again.ok and again.records == audited_ft.audit.records
+
+    def test_audit_needs_async_transport(self):
+        healer = ForgivingTreeHealer(_tree_graph(8, 1))
+        with pytest.raises(ValueError):
+            run_churn_campaign(
+                healer,
+                RandomChurnAdversary(seed=1),
+                events=4,
+                obs="audit",
+            )
+
+    def test_certify_pure_legacy_log(self, audited_ft):
+        """A pre-schema log (bare tuples, no send records) still gets
+        causality/accounting checked; send-side checks are skipped, not
+        spuriously violated."""
+        inputs = audited_ft.audit_inputs
+        legacy = [
+            rec.to_tuple()
+            for rec in decode_log(inputs.records)
+            if rec.kind in ("deliver", "crash", "control")
+        ]
+        report = certify_campaign(
+            legacy,
+            inputs.heal_stats,
+            deltas=inputs.deltas,
+            initial_edges=inputs.initial_edges,
+            protocol="ft",
+        )
+        # Arrival tallies no longer match the kernel stats (we stripped
+        # the fault rows), but nothing crashes and budget stays skipped.
+        assert all(
+            v.cert in ("accounting", "locality") for v in report.violations
+        )
+
+    def test_raise_on_violation_names_evidence(self):
+        report = AuditReport(protocol="ft")
+        report.campaign_violations.append(
+            Violation("budget", 4, (10, 12), "node 7 sent 99 messages")
+        )
+        with pytest.raises(AuditError, match=r"heal 4 events 10\.\.12"):
+            report.raise_on_violation()
+
+
+# ---------------------------------------------------------------------------
+# Mutation self-test
+# ---------------------------------------------------------------------------
+
+class TestMutation:
+    @pytest.fixture(scope="class")
+    def clean_inputs(self):
+        return mutate_mod._self_test_inputs(seed=11)
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_each_corruption_is_caught(self, clean_inputs, name):
+        caught, detail, violation = check_corruption(clean_inputs, name)
+        expected_cert = CORRUPTIONS[name][0]
+        assert caught, detail
+        assert violation.cert == expected_cert
+        # The auditor names the offending heal and event-id window.
+        assert violation.heal >= 0
+        assert 0 <= violation.window[0] <= violation.window[1]
+
+    def test_run_self_test_passes(self):
+        outcomes = run_self_test(seed=11)
+        assert set(outcomes) == set(CORRUPTIONS)
+
+    def test_cli(self, capsys):
+        assert mutate_mod.main(["--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert f"{len(CORRUPTIONS)}/{len(CORRUPTIONS)} corruptions caught" in out
+
+    def test_undetected_corruption_raises(self, clean_inputs, monkeypatch):
+        monkeypatch.setitem(
+            mutate_mod.CORRUPTIONS, "no-op", ("budget", lambda log, inputs: log)
+        )
+        with pytest.raises(AuditError, match="no-op"):
+            run_self_test(seed=11)
+
+
+# ---------------------------------------------------------------------------
+# Independence: the auditor consumes telemetry, not engines.
+# ---------------------------------------------------------------------------
+
+_ENGINE_PACKAGES = (
+    "simnet",
+    "distributed",
+    "fgraph",
+    "baselines",
+    "regions",
+    "harness",
+    "faults",
+    "churn",
+    "adversaries",
+    "graphs",
+    "core.engine",
+    "core.flat",
+    "obs",
+    "soak",
+)
+
+
+class TestIndependence:
+    def test_no_module_level_engine_imports(self):
+        """Every repro.audit module's *top-level* imports stay inside the
+        package, repro.core.errors, and the stdlib — the harness import
+        in mutate.py is function-local by design.  This is the
+        oracle-independence acceptance wall, checked structurally."""
+        pkg = pathlib.Path(mutate_mod.__file__).parent
+        for path in sorted(pkg.glob("*.py")):
+            tree = ast.parse(path.read_text())
+            for node in tree.body:  # module level only
+                names = []
+                if isinstance(node, ast.Import):
+                    names = [a.name for a in node.names]
+                elif isinstance(node, ast.ImportFrom):
+                    if node.level >= 1:
+                        mod = node.module or ""
+                        full = "repro." + mod if node.level == 2 else mod
+                        names = [full]
+                    else:
+                        names = [node.module or ""]
+                for name in names:
+                    assert not any(
+                        name == f"repro.{p}" or name.startswith(f"repro.{p}.")
+                        for p in _ENGINE_PACKAGES
+                    ), f"{path.name} imports {name} at module level"

@@ -10,6 +10,8 @@ image node-for-node, twice, identically), and the repair pass restoring
 a deliberately corrupted overlay fixture.
 """
 
+from collections import Counter
+
 import pytest
 
 from repro.adversaries.churn import (
@@ -205,8 +207,8 @@ class TestReliableDeliveryParity:
         assert fs.retransmissions == fs.drops
         assert fs.dup_suppressed == fs.duplicates
         assert fs.unrepaired_violations == 0
-        # Fault rows land in the causal log.
-        kinds = {row[-1].split(":")[0] for row in res.transport.event_log}
+        # Fault rows land in the causal log, as typed records.
+        kinds = {rec.kind for rec in res.transport.event_log}
         assert "drop" in kinds and "dup" in kinds and "dup-suppressed" in kinds
 
     def test_delivered_counts_base_plus_duplicates(self):
@@ -215,14 +217,16 @@ class TestReliableDeliveryParity:
         )
         log = res.transport.event_log
         fs = res.faults
-        # One plain (colon-free) row per delivered envelope; dead and
-        # suppressed deliveries log an extra annotation row each.
-        deliveries = [row for row in log if row[2] >= 0 and ":" not in row[-1]]
-        assert len(deliveries) == res.transport.messages_delivered
-        suppressed = sum(1 for r in log if r[-1].startswith("dup-suppressed:"))
-        dead = sum(1 for r in log if r[-1].startswith("dead:"))
-        assert suppressed == fs.dup_suppressed
-        assert dead == fs.dead_drops
+        # Exactly one typed record per arrival, classified: handled
+        # deliveries, suppressed duplicates, and dead drops partition
+        # the kernel's delivered count.
+        kinds = Counter(rec.kind for rec in log)
+        assert (
+            kinds["deliver"] + kinds["dup-suppressed"] + kinds["dead"]
+            == res.transport.messages_delivered
+        )
+        assert kinds["dup-suppressed"] == fs.dup_suppressed
+        assert kinds["dead"] == fs.dead_drops
 
     def test_max_attempts_caps_consecutive_losses(self):
         # With drop=0.9 and max_attempts=3, no send may record more than
@@ -260,7 +264,7 @@ class TestReliableDeliveryParity:
         )
         # The crash victim's in-flight mail is dead-dropped and counted.
         assert res.faults.crashes == 1
-        assert any(row[-1] == "crash" for row in res.transport.event_log)
+        assert any(rec.kind == "crash" for rec in res.transport.event_log)
 
 
 # ----------------------------------------------------------------------
@@ -316,7 +320,7 @@ class TestCrashAndRepair:
     def test_repair_pass_log_line(self):
         plan = FaultPlan(crashes=(CrashDuringHeal(event=4),))
         res = _faulted_run(ForgivingTreeHealer, plan, seed=3, n=32, events=16)
-        tags = [row[-1] for row in res.transport.event_log]
+        tags = [rec.tag() for rec in res.transport.event_log]
         assert "crash" in tags and "repair-pass" in tags
         assert tags.index("crash") < tags.index("repair-pass")
 

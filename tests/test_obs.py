@@ -488,12 +488,15 @@ class TestObsSpec:
         assert resolve_obs("metrics") == ObsSpec()
         assert resolve_obs("trace").trace is True
         assert resolve_obs("profile").profile is True
+        audit = resolve_obs("audit")
+        assert audit.audit and audit.recorder > 0
         full = resolve_obs("full")
-        assert full.trace and full.profile and full.recorder == 4096
+        assert full.trace and full.profile and full.audit
+        assert full.recorder == 4096
         spec = ObsSpec(profile=True)
         assert resolve_obs(spec) is spec
         assert set(OBS_MODES) == {"none", "metrics", "trace", "profile",
-                                  "full"}
+                                  "audit", "full"}
 
     def test_bad_inputs_raise(self):
         with pytest.raises(ValueError, match="unknown obs"):
@@ -732,3 +735,66 @@ class TestFlightRecorderOnFailure:
                 mirror.barrier()
             paths.add(str(ei.value).rsplit("dumped to ", 1)[1].strip())
         assert len(paths) == 1  # one dump file, cited consistently
+
+
+class TestSloDottedPaths:
+    """SloSpec.resolve's dotted-path contract on hostile window records.
+
+    The soak service feeds whatever the window assembler produced;
+    specs must *skip* (return None) — never raise, never coerce — when
+    the path dead-ends: a missing key anywhere along it, a non-dict
+    intermediate (including lists), or a non-numeric leaf.
+    """
+
+    def _spec(self, metric):
+        from repro.obs import SloSpec
+
+        return SloSpec("probe", metric, "<=", 10.0)
+
+    def test_flat_and_nested_hits(self):
+        assert self._spec("a").resolve({"a": 3}) == 3
+        assert self._spec("a.b.c").resolve({"a": {"b": {"c": 2.5}}}) == 2.5
+
+    def test_missing_keys_skip(self):
+        assert self._spec("a").resolve({}) is None
+        assert self._spec("a.b").resolve({"a": {}}) is None
+        # A missing *intermediate* key, with a sibling present.
+        assert self._spec("a.b.c").resolve({"a": {"x": {"c": 1}}}) is None
+
+    def test_list_intermediates_and_leaves_skip(self):
+        # Lists are not traversable (no integer indexing in paths) ...
+        assert self._spec("a.b").resolve({"a": [{"b": 1}]}) is None
+        # ... and a list *leaf* is not a number.
+        assert self._spec("a").resolve({"a": [1, 2, 3]}) is None
+
+    def test_non_numeric_leaves_skip(self):
+        for leaf in ("97", None, {"v": 1}, object()):
+            assert self._spec("a").resolve({"a": leaf}) is None
+
+    def test_bool_leaf_is_numeric(self):
+        # bool is an int subclass; the resolver passes it through and
+        # the comparison treats it as 0/1.
+        assert self._spec("a").resolve({"a": True}) is True
+
+    def test_empty_segment_never_matches(self):
+        assert self._spec("a..b").resolve({"a": {"": {"b": 1}}}) == 1
+        assert self._spec("a..b").resolve({"a": {"b": 1}}) is None
+
+    def test_watchdog_skips_unresolvable_without_alerting(self):
+        from repro.obs import SloSpec, SloWatchdog
+
+        watchdog = SloWatchdog(
+            [
+                SloSpec("strs", "metric.str", "<=", 0.0),
+                SloSpec("lists", "metric.list", "<=", 0.0),
+                SloSpec("gone", "metric.gone.deeper", "<=", 0.0),
+            ]
+        )
+        record = {
+            "window": 0,
+            "events": 100,
+            "metric": {"str": "breach!", "list": [99, 99]},
+        }
+        assert watchdog.evaluate(record) == []
+        assert not watchdog.breached
+        assert watchdog.windows_evaluated == 1

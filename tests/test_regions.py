@@ -423,7 +423,12 @@ class TestKernelLeasePrimitives:
         DistributedForgivingTree({0: [1], 1: [0]}, network=net)
         before = len(net.event_log)
         net.log_control("lease-grant", 7)
-        assert net.event_log[-1] == (round(net.clock, 9), 7, -1, -1, -1, "lease-grant")
+        entry = net.event_log[-1]
+        assert entry.kind == "control" and entry.ref == 7
+        # The typed record still round-trips to the historical tuple.
+        assert entry.to_tuple() == (
+            round(net.clock, 9), 7, -1, -1, -1, "lease-grant"
+        )
         assert len(net.event_log) == before + 1
         quiet = AsyncNetwork()
         quiet.log_control("lease-grant", 1)  # record_log off: no-op
